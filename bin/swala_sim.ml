@@ -1,0 +1,237 @@
+(* Command-line driver for the Swala simulator.
+
+   swala_sim run       free-form cluster simulation over a chosen workload
+   swala_sim gen       generate a workload trace file (logfmt)
+   swala_sim list      list the paper experiments exposed by bench/main.exe *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let nodes_t =
+  Arg.(
+    value & opt int 1
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of server nodes.")
+
+let mode_t =
+  let parse = function
+    | "no-cache" -> Ok Swala.Config.Disabled
+    | "standalone" -> Ok Swala.Config.Standalone
+    | "cooperative" -> Ok Swala.Config.Cooperative
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Swala.Config.cache_mode_to_string m)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Swala.Config.Cooperative
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Cache mode: no-cache, standalone or cooperative.")
+
+let policy_t =
+  let parse s = Result.map_error (fun e -> `Msg e) (Cache.Policy.of_string s) in
+  Arg.(
+    value
+    & opt (conv (parse, Cache.Policy.pp)) Cache.Policy.Lru
+    & info [ "policy" ] ~docv:"P"
+        ~doc:"Replacement policy: lru, fifo, lfu, size, exec-time, gdsf, random.")
+
+let capacity_t =
+  Arg.(
+    value & opt int 2000
+    & info [ "capacity" ] ~docv:"N" ~doc:"Cache entries per node.")
+
+let streams_t =
+  Arg.(
+    value & opt int 16
+    & info [ "streams" ] ~docv:"N" ~doc:"Closed-loop client streams.")
+
+let requests_t =
+  Arg.(
+    value & opt int 2000
+    & info [ "requests" ] ~docv:"N" ~doc:"Requests to generate.")
+
+let workload_t =
+  Arg.(
+    value & opt string "adl"
+    & info [ "workload" ] ~docv:"W"
+        ~doc:
+          "Workload: adl (digital-library replay), coop (hit-ratio mix), \
+           webstone (file mix), nullcgi, or unique (all-miss CGIs).")
+
+let router_t =
+  let parse = function
+    | "per-stream" -> Ok Swala.Router.Per_stream
+    | "round-robin" -> Ok Swala.Router.Round_robin
+    | "least-active" -> Ok Swala.Router.Least_active
+    | "key-affinity" -> Ok Swala.Router.Key_affinity
+    | s -> Error (`Msg (Printf.sprintf "unknown routing policy %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Swala.Router.policy_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Swala.Router.Per_stream
+    & info [ "router" ] ~docv:"R"
+        ~doc:
+          "Request routing: per-stream, round-robin, least-active or \
+           key-affinity.")
+
+let rules_t =
+  Arg.(
+    value & opt (some file) None
+    & info [ "rules" ] ~docv:"FILE"
+        ~doc:"Administrator cacheability rules file (see Swala.Rules).")
+
+let trace_of_workload ~workload ~seed ~requests =
+  match workload with
+  | "adl" -> Ok (Workload.Synthetic.adl_scaled ~seed ~n:requests)
+  | "coop" ->
+      let n_unique = Stdlib.max 1 (requests * 7 / 10) in
+      Ok (Workload.Synthetic.coop ~seed ~n:requests ~n_unique ~locality:0.08 ())
+  | "webstone" -> Ok (Workload.Webstone.file_trace ~seed ~n:requests)
+  | "nullcgi" -> Ok (Workload.Webstone.null_cgi_trace ~n:requests)
+  | "unique" -> Ok (Workload.Synthetic.unique_cacheable ~n:requests ~demand:1.0)
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd_impl seed nodes mode policy capacity streams requests workload
+    router rules_file =
+  match trace_of_workload ~workload ~seed ~requests with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok trace ->
+      let rules =
+        match rules_file with
+        | None -> Swala.Rules.empty
+        | Some path -> (
+            match Swala.Rules.load path with
+            | Ok r -> r
+            | Error e ->
+                Printf.eprintf "%s: %s\n" path e;
+                exit 2)
+      in
+      let cfg =
+        Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
+          ~cache_capacity:capacity ~rules ~seed ()
+      in
+      let result =
+        Swala.Cluster_runner.run cfg ~trace ~n_streams:streams ~router ()
+      in
+      let summary = Workload.Analyzer.summarize trace in
+      Printf.printf
+        "workload=%s requests=%d (%.1f%% CGI) nodes=%d mode=%s policy=%s \
+         capacity=%d streams=%d seed=%d\n"
+        workload summary.Workload.Analyzer.n_total
+        (100. *. summary.Workload.Analyzer.cgi_fraction)
+        nodes
+        (Swala.Config.cache_mode_to_string mode)
+        (Cache.Policy.to_string policy)
+        capacity streams seed;
+      Printf.printf "simulated makespan        %.2f s\n"
+        result.Swala.Cluster_runner.duration;
+      Printf.printf "mean response time        %.4f s\n"
+        (Swala.Cluster_runner.mean_response result);
+      (let r = result.Swala.Cluster_runner.response in
+       if Metrics.Sample.count r > 0 then
+         Printf.printf "median / p95 / max        %.4f / %.4f / %.4f s\n"
+           (Metrics.Sample.median r)
+           (Metrics.Sample.quantile r 0.95)
+           (Metrics.Sample.max r));
+      Printf.printf "cache hits (local+remote) %d (hit ratio %.1f%% of CGI)\n"
+        result.Swala.Cluster_runner.hits
+        (100. *. result.Swala.Cluster_runner.hit_ratio);
+      Printf.printf "per-node CPU utilisation  %s\n"
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun u -> Printf.sprintf "%.0f%%" (100. *. u))
+                 result.Swala.Cluster_runner.utilisation)));
+      print_newline ();
+      print_string "counters:\n";
+      let c = result.Swala.Cluster_runner.counters in
+      List.iter
+        (fun name -> Printf.printf "  %-24s %d\n" name (Metrics.Counter.get c name))
+        (Metrics.Counter.names c)
+
+let run_cmd =
+  let doc = "Run a cluster simulation and report response times and counters." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd_impl $ seed_t $ nodes_t $ mode_t $ policy_t $ capacity_t
+      $ streams_t $ requests_t $ workload_t $ router_t $ rules_t)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let output_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let gen_cmd_impl seed requests workload output =
+  match trace_of_workload ~workload ~seed ~requests with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok trace -> (
+      match output with
+      | None -> print_string (Workload.Logfmt.to_string trace)
+      | Some path ->
+          let oc = open_out path in
+          Workload.Logfmt.write oc trace;
+          close_out oc;
+          Printf.printf "wrote %d requests to %s\n" (List.length trace) path)
+
+let gen_cmd =
+  let doc = "Generate a workload trace in logfmt (see bin/loganalyze)." in
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(const gen_cmd_impl $ seed_t $ requests_t $ workload_t $ output_t)
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let doc = "List the paper-experiment targets (run them via bench/main.exe)." in
+  Cmd.v
+    (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          print_endline
+            "Paper experiments (run with `dune exec bench/main.exe -- \
+             <target>`):";
+          List.iter print_endline
+            [
+              "  table1                potential saving from CGI caching";
+              "  table2                file-fetch response times by server";
+              "  figure3               null-CGI response times";
+              "  figure4               multi-node scaling, cache on/off";
+              "  table3                insert+broadcast overhead";
+              "  table4                directory maintenance overhead";
+              "  table5                hit ratios, cache size 2000";
+              "  table6                hit ratios, cache size 20";
+              "  ablation-policy       replacement policies under overflow";
+              "  ablation-locking      directory locking granularity";
+              "  ablation-consistency  anomalies vs update delay";
+              "  ablation-protocol     weak vs strong consistency cost";
+              "  ablation-routing      routing policy x cache mode";
+              "  ablation-threshold    caching threshold x capacity";
+              "  ablation-loss         message loss + timeout recovery";
+              "  micro                 Bechamel kernel micro-benchmarks";
+            ])
+      $ const ())
+
+let () =
+  let doc = "Swala cooperative-caching web-server simulator (HPDC 1998)." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "swala_sim" ~doc) [ run_cmd; gen_cmd; list_cmd ]))

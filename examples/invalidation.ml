@@ -1,0 +1,78 @@
+(* Content consistency beyond TTLs (paper §4.2 future work).
+
+   Three ways to keep cached CGI results fresh, demonstrated end to end:
+   1. TTL expiry        — the paper's shipping mechanism;
+   2. application push  — the application invalidates a specific result
+                          when its data changes (IBM's model);
+   3. source monitoring — scripts declare their input files; changing a
+                          file invalidates every dependent result
+                          (Vahdat & Anderson's model).
+
+   Run with:  dune exec examples/invalidation.exe *)
+
+let () =
+  let registry = Cgi.Registry.create () in
+  (* A catalogue query that reads two data files, refreshed hourly by TTL. *)
+  Cgi.Registry.register registry
+    (Cgi.Script.make ~name:"/cgi-bin/catalogue" ~ttl:(Some 3600.)
+       ~sources:[ "/data/catalogue.db"; "/data/prices.tsv" ]
+       (Cgi.Cost.make ~output_bytes:8_192 (Cgi.Cost.Fixed 2.0)));
+  (* A stock-level query invalidated explicitly by the application. *)
+  Cgi.Registry.register registry
+    (Cgi.Script.make ~name:"/cgi-bin/stock"
+       (Cgi.Cost.make ~output_bytes:1_024 (Cgi.Cost.Fixed 1.0)));
+
+  let engine = Sim.Engine.create () in
+  let cfg = Swala.Config.make ~n_nodes:2 () in
+  let cluster =
+    Swala.Server.create_cluster engine cfg ~registry ~n_client_endpoints:1
+  in
+  let monitor = Swala.Filemon.create registry in
+  Swala.Server.start cluster;
+
+  let client = 2 in
+  Sim.Engine.spawn engine (fun () ->
+      let fetch node target =
+        let t0 = Sim.Engine.now () in
+        let (_ : Http.Response.t) =
+          Swala.Server.submit cluster ~client ~node (Http.Request.get target)
+        in
+        Printf.printf "  [node %d] GET %-32s %.3f s\n" node target
+          (Sim.Engine.now () -. t0)
+      in
+      print_endline "Warm both caches:";
+      fetch 0 "/cgi-bin/catalogue?section=maps";
+      fetch 0 "/cgi-bin/stock?item=42";
+      Sim.Engine.delay 0.1;
+      print_endline "Repeats are cache hits (node 1 fetches remotely):";
+      fetch 0 "/cgi-bin/catalogue?section=maps";
+      fetch 1 "/cgi-bin/catalogue?section=maps";
+
+      print_endline "\nApplication updates item 42 and pushes an invalidation:";
+      let dropped =
+        Swala.Server.invalidate cluster ~key:"GET /cgi-bin/stock?item=42"
+      in
+      Printf.printf "  invalidate -> %d cached cop%s dropped\n" dropped
+        (if dropped = 1 then "y" else "ies");
+      fetch 0 "/cgi-bin/stock?item=42";
+
+      print_endline "\n/data/catalogue.db changes; the monitor reacts:";
+      Printf.printf "  %s is read by: %s\n" "/data/catalogue.db"
+        (String.concat ", " (Swala.Filemon.scripts_for monitor "/data/catalogue.db"));
+      let dropped = Swala.Filemon.on_change monitor cluster "/data/catalogue.db" in
+      Printf.printf "  on_change -> %d cached result%s dropped cluster-wide\n"
+        dropped
+        (if dropped = 1 then "" else "s");
+      print_endline "Next catalogue query re-executes, then caches again:";
+      fetch 0 "/cgi-bin/catalogue?section=maps";
+      fetch 0 "/cgi-bin/catalogue?section=maps";
+      Swala.Server.stop cluster);
+
+  Sim.Engine.run engine;
+  let c = Swala.Server.merged_counters cluster in
+  Printf.printf
+    "\nTotals: %d executions, %d local hits, %d remote hits, %d invalidations.\n"
+    (Metrics.Counter.get c Swala.Server.K.cgi_execs)
+    (Metrics.Counter.get c Swala.Server.K.hit_local)
+    (Metrics.Counter.get c Swala.Server.K.hit_remote)
+    (Metrics.Counter.get c Swala.Server.K.invalidations)

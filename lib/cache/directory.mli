@@ -1,0 +1,77 @@
+(** Replicated global cache directory (paper §4.2).
+
+    Every node holds one table per node in the group; table [j] describes
+    what node [j] has cached. A lookup probes the tables one by one under
+    read locks; insert/delete messages (local or broadcast from peers)
+    update a single table under a write lock.
+
+    The paper argues for table-granularity locking against two
+    alternatives: one lock for the whole directory (too much contention)
+    and one lock per entry (too many lock operations per lookup). All three
+    are implemented behind {!granularity} so the trade-off can be measured
+    (ablation A2): each lock acquisition charges [lock_overhead] seconds of
+    simulated delay, and with [Per_entry] a table probe charges one
+    acquisition per entry scanned, following the paper's argument that a
+    lookup searches a portion of each table.
+
+    Locking operations can suspend the calling process, so directory calls
+    must happen inside a simulated process. *)
+
+type granularity = Global | Per_table | Per_entry
+
+type t
+
+val create :
+  ?granularity:granularity ->
+  ?lock_overhead:float ->
+  ?scan_cost:float ->
+  ?charge:(float -> unit) ->
+  nodes:int ->
+  unit ->
+  t
+(** [nodes] is the group size; tables are indexed [0 .. nodes-1].
+    [lock_overhead] defaults to [2e-6] s per acquisition. [scan_cost]
+    (default [0.]) is charged per entry of the probed table {e while the
+    lock is held} — it models the paper's table scan, whose serialisation
+    is exactly what distinguishes the three granularities under load.
+    [charge] spends the accumulated seconds (default [Sim.Engine.delay]);
+    the server passes the owning node's CPU so that lock and scan work
+    contends with request processing. *)
+
+(** [lookup t key] probes every table (self first is the caller's choice;
+    this probes in index order) and returns the first live entry. Expired
+    metas are treated as absent but not removed (the owner's purge daemon
+    broadcasts the delete). *)
+val lookup : t -> now:float -> string -> Meta.t option
+
+(** [lookup_from t ~self ~now key] probes [self]'s table first, then the
+    others in index order — preferring a local hit over a remote one. *)
+val lookup_from : t -> self:int -> now:float -> string -> Meta.t option
+
+(** [insert t ~node meta] records [meta] in [node]'s table. *)
+val insert : t -> node:int -> Meta.t -> unit
+
+(** [delete t ~node key] removes [key] from [node]'s table; [true] if it
+    was present. *)
+val delete : t -> node:int -> string -> bool
+
+(** [touch t ~node key ~now] updates nothing structural but lets the owner
+    bump meta statistics after a fetch; present for symmetry with §4.1
+    ("the cache manager on the node that owns the item updates meta-data
+    statistics"). Returns [true] if the entry exists. *)
+val touch : t -> node:int -> string -> now:float -> bool
+
+(** [entries t ~node] lists a table's metas (unordered). *)
+val entries : t -> node:int -> Meta.t list
+
+(** [table_size t ~node] is the number of metas in one table. *)
+val table_size : t -> node:int -> int
+
+(** [total_size t] sums all tables. *)
+val total_size : t -> int
+
+val nodes : t -> int
+
+(** [lock_acquisitions t] is the cumulative (read, write) acquisition count
+    across the whole directory — the ablation's measured quantity. *)
+val lock_acquisitions : t -> int * int

@@ -1,0 +1,19 @@
+type t = {
+  key : string;
+  owner : int;
+  size : int;
+  exec_time : float;
+  created : float;
+  expires : float option;
+}
+
+let make ~key ~owner ~size ~exec_time ~created ~expires =
+  if size < 0 then invalid_arg "Meta.make: negative size";
+  if exec_time < 0. then invalid_arg "Meta.make: negative exec_time";
+  { key; owner; size; exec_time; created; expires }
+
+let expired t ~now = match t.expires with Some e -> now >= e | None -> false
+
+let pp ppf t =
+  Format.fprintf ppf "%s@@node%d (%d B, exec %.3fs)" t.key t.owner t.size
+    t.exec_time

@@ -1,0 +1,26 @@
+(** Cache-entry meta-data: what the replicated global directory stores about
+    each cached CGI result (the result body itself lives only in the owner
+    node's local store, in a per-entry disk file). *)
+
+type t = {
+  key : string;  (** canonical request key *)
+  owner : int;  (** node holding the result file *)
+  size : int;  (** result size in bytes *)
+  exec_time : float;  (** measured CGI execution time, drives replacement *)
+  created : float;  (** simulation time of insertion *)
+  expires : float option;  (** absolute expiry (creation + TTL), if any *)
+}
+
+val make :
+  key:string ->
+  owner:int ->
+  size:int ->
+  exec_time:float ->
+  created:float ->
+  expires:float option ->
+  t
+
+(** [expired t ~now] is [true] when [t] has an expiry in the past. *)
+val expired : t -> now:float -> bool
+
+val pp : Format.formatter -> t -> unit

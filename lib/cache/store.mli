@@ -1,0 +1,61 @@
+(** Bounded local result cache of one Swala node.
+
+    Holds the cached bodies (standing in for the per-entry disk files of
+    §4.1) together with their meta-data, enforces an entry-count capacity
+    with a pluggable replacement {!Policy}, and applies TTL expiry. All
+    operations are O(log n) amortised via a lazily-invalidated priority
+    heap; [Random] replacement uses an O(1) indexed key table instead.
+
+    The store is purely a data structure: it never blocks, so it can be used
+    from simulated processes and plain test code alike. Time is supplied by
+    the [clock] function given at creation. *)
+
+type t
+
+type entry = { meta : Meta.t; body : string }
+
+val create :
+  capacity:int -> ?capacity_bytes:int -> policy:Policy.t ->
+  clock:(unit -> float) -> ?rng:Sim.Rng.t -> unit -> t
+(** [capacity] is the maximum number of entries ([>= 1]);
+    [capacity_bytes] optionally also bounds the total body bytes (entries
+    are evicted until both bounds hold; a single entry larger than the
+    byte bound still resides alone). [rng] is required for [Policy.Random]
+    and ignored otherwise. *)
+
+(** [lookup t key] returns the entry and updates recency/frequency, or
+    [None] (counting a miss). An entry past its expiry is dropped and
+    reported as a miss (+1 expiration). *)
+val lookup : t -> string -> entry option
+
+(** [peek t key] is {!lookup} without touching access statistics or
+    counting hit/miss; expired entries still return [None]. *)
+val peek : t -> string -> entry option
+
+(** [insert t meta body] adds or replaces; evicts per policy when full.
+    Returns the evicted metas (oldest victim first) so the caller can
+    broadcast the corresponding delete messages. *)
+val insert : t -> Meta.t -> string -> Meta.t list
+
+(** [remove t key] deletes an entry; [true] if present. Used when a remote
+    delete broadcast arrives or consistency demands invalidation. *)
+val remove : t -> string -> bool
+
+(** [remove_matching t pred] deletes every entry whose key satisfies
+    [pred]; returns the removed metas. This is the invalidation hook:
+    application-driven and source-monitoring invalidation drop all results
+    of an affected script in one sweep. *)
+val remove_matching : t -> (string -> bool) -> Meta.t list
+
+(** [purge_expired t] drops every entry past its expiry (the cacher
+    module's third daemon thread); returns their metas. *)
+val purge_expired : t -> Meta.t list
+
+val mem : t -> string -> bool
+val length : t -> int
+val capacity : t -> int
+val capacity_bytes : t -> int option
+val bytes : t -> int
+val keys : t -> string list
+val stats : t -> Stats.t
+val policy : t -> Policy.t

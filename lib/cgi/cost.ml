@@ -1,0 +1,53 @@
+type demand =
+  | Fixed of float
+  | Lognormal of { mean : float; cv : float }
+  | Uniform of { lo : float; hi : float }
+  | From_query of { default : float }
+
+type t = { fork_exec : float; demand : demand; output_bytes : int }
+
+let make ?(fork_exec = 0.03) ?(output_bytes = 4096) demand =
+  if fork_exec < 0. then invalid_arg "Cost.make: negative fork_exec";
+  if output_bytes < 0 then invalid_arg "Cost.make: negative output size";
+  (match demand with
+  | Fixed d when d < 0. -> invalid_arg "Cost.make: negative demand"
+  | Lognormal { mean; cv } when mean <= 0. || cv < 0. ->
+      invalid_arg "Cost.make: bad lognormal parameters"
+  | Uniform { lo; hi } when lo < 0. || hi < lo ->
+      invalid_arg "Cost.make: bad uniform parameters"
+  | From_query { default } when default < 0. ->
+      invalid_arg "Cost.make: negative default demand"
+  | Fixed _ | Lognormal _ | Uniform _ | From_query _ -> ());
+  { fork_exec; demand; output_bytes }
+
+let sample_demand t rng =
+  match t.demand with
+  | Fixed d -> d
+  | Lognormal { mean; cv } -> Sim.Dist.lognormal_mean_cv rng ~mean ~cv
+  | Uniform { lo; hi } -> Sim.Dist.uniform rng lo hi
+  | From_query { default } -> default
+
+let query_float query name =
+  match List.assoc_opt name query with
+  | Some v -> float_of_string_opt v
+  | None -> None
+
+let demand_for t rng ~query =
+  match t.demand with
+  | From_query { default } -> (
+      match query_float query "xd" with
+      | Some d when d >= 0. -> d
+      | Some _ | None -> default)
+  | Fixed _ | Lognormal _ | Uniform _ -> sample_demand t rng
+
+let output_bytes_for t ~query =
+  match query_float query "xb" with
+  | Some b when b >= 0. -> int_of_float b
+  | Some _ | None -> t.output_bytes
+
+let mean_demand t =
+  match t.demand with
+  | Fixed d -> d
+  | Lognormal { mean; _ } -> mean
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | From_query { default } -> default

@@ -1,0 +1,47 @@
+(** CGI cost model.
+
+    The paper's central observation is the cost structure of dynamic
+    requests: a CGI costs a fixed operating-system startup overhead
+    (fork + exec; significant, per their Figure 3 experiment) plus a CPU
+    demand that is typically orders of magnitude larger than a file fetch.
+    Output size matters only for transmission. This module describes those
+    costs; the server model charges them against the node's simulated CPU. *)
+
+(** CPU demand of one execution, in dedicated-CPU seconds. *)
+type demand =
+  | Fixed of float  (** deterministic demand *)
+  | Lognormal of { mean : float; cv : float }
+      (** heavy-ish tail, parameterised by mean and coefficient of
+          variation *)
+  | Uniform of { lo : float; hi : float }
+  | From_query of { default : float }
+      (** trace-replay hook: the demand is carried in the request's ["xd"]
+          query parameter (falling back to [default]), so replaying a
+          recorded trace reproduces the recorded service times exactly *)
+
+type t = {
+  fork_exec : float;  (** per-invocation OS startup overhead, seconds *)
+  demand : demand;
+  output_bytes : int;  (** size of the generated document *)
+}
+
+(** [make ?fork_exec ?output_bytes demand]. Default [fork_exec] is
+    [0.03 s] — the measured-scale cost of fork+exec+pipe setup on the
+    paper's era of hardware; default output is 4 KiB of HTML. *)
+val make : ?fork_exec:float -> ?output_bytes:int -> demand -> t
+
+(** [sample_demand t rng] draws the CPU demand for one execution
+    (deterministic variants ignore [rng]; [From_query] yields its
+    default — use {!demand_for} when the request's query is at hand). *)
+val sample_demand : t -> Sim.Rng.t -> float
+
+(** [demand_for t rng ~query] is {!sample_demand} except that a
+    [From_query] demand reads the ["xd"] parameter from [query]. *)
+val demand_for : t -> Sim.Rng.t -> query:(string * string) list -> float
+
+(** [output_bytes_for t ~query] is [t.output_bytes] unless the ["xb"]
+    replay parameter overrides it. *)
+val output_bytes_for : t -> query:(string * string) list -> int
+
+(** [mean_demand t] is the expectation of {!sample_demand}. *)
+val mean_demand : t -> float

@@ -1,0 +1,33 @@
+type target =
+  | Cgi_script of Script.t
+  | Static_file of { path : string; bytes : int }
+
+type t = {
+  scripts : (string, Script.t) Hashtbl.t;
+  files : (string, int) Hashtbl.t;
+}
+
+let create () = { scripts = Hashtbl.create 64; files = Hashtbl.create 64 }
+
+let register t (script : Script.t) =
+  Hashtbl.replace t.scripts script.Script.name script
+
+let register_file t ~path ~bytes =
+  if bytes < 0 then invalid_arg "Registry.register_file: negative size";
+  Hashtbl.replace t.files path bytes
+
+let resolve t path =
+  match Hashtbl.find_opt t.scripts path with
+  | Some s -> Some (Cgi_script s)
+  | None -> (
+      match Hashtbl.find_opt t.files path with
+      | Some bytes -> Some (Static_file { path; bytes })
+      | None -> None)
+
+let find_script t name = Hashtbl.find_opt t.scripts name
+
+let scripts t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.scripts []
+  |> List.sort (fun a b -> String.compare a.Script.name b.Script.name)
+
+let file_count t = Hashtbl.length t.files

@@ -1,0 +1,27 @@
+(** Registry mapping URL paths to CGI programs, and static file metadata.
+
+    A Swala node consults the registry to classify an incoming request:
+    a path registered as a script is executed through the CGI machinery,
+    a path registered as a file is served from the (simulated) file system,
+    anything else is a 404. *)
+
+type t
+
+val create : unit -> t
+
+(** [register t script] binds [script.name]; re-registering replaces. *)
+val register : t -> Script.t -> unit
+
+(** [register_file t ~path ~bytes] declares a static document. *)
+val register_file : t -> path:string -> bytes:int -> unit
+
+type target =
+  | Cgi_script of Script.t
+  | Static_file of { path : string; bytes : int }
+
+(** [resolve t path] classifies a decoded request path. *)
+val resolve : t -> string -> target option
+
+val find_script : t -> string -> Script.t option
+val scripts : t -> Script.t list
+val file_count : t -> int

@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  cost : Cost.t;
+  cacheable : bool;
+  ttl : float option;
+  failure_rate : float;
+  sources : string list;
+}
+
+let make ?(cacheable = true) ?(ttl = None) ?(failure_rate = 0.) ?(sources = [])
+    ~name cost =
+  if String.length name = 0 || name.[0] <> '/' then
+    invalid_arg "Script.make: name must be an absolute path";
+  if failure_rate < 0. || failure_rate > 1. then
+    invalid_arg "Script.make: failure_rate out of [0,1]";
+  { name; cost; cacheable; ttl; failure_rate; sources }
+
+let null =
+  make ~name:"/cgi-bin/nullcgi"
+    (Cost.make ~output_bytes:64 (Cost.Fixed 0.))
+
+(* Deterministic body: experiments compare bodies fetched from cache with
+   bodies from re-execution, so identical keys must yield identical text. *)
+let output_sized t ~key ~bytes =
+  let h = Hashtbl.hash (t.name, key) in
+  let payload_len = Stdlib.max 0 (bytes - 96) in
+  let buf = Buffer.create (payload_len + 96) in
+  Buffer.add_string buf "<html><body><!-- ";
+  Buffer.add_string buf t.name;
+  Buffer.add_string buf (Printf.sprintf " h=%08x -->" h);
+  for i = 0 to payload_len - 1 do
+    (* Cheap deterministic filler. *)
+    Buffer.add_char buf (Char.chr (32 + ((h + i) mod 95)))
+  done;
+  Buffer.add_string buf "</body></html>";
+  Buffer.contents buf
+
+let output t ~key = output_sized t ~key ~bytes:t.cost.Cost.output_bytes

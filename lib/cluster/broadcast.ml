@@ -1,0 +1,39 @@
+let info net endpoints ~src msg =
+  let bytes = Msg.info_bytes msg in
+  let sent = ref 0 in
+  Array.iter
+    (fun (ep : Endpoint.t) ->
+      if ep.Endpoint.node <> src then begin
+        Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes ep.Endpoint.info_mb
+          { Msg.info = msg; ack = None };
+        incr sent
+      end)
+    endpoints;
+  !sent
+
+let info_sync net endpoints ~src msg =
+  let bytes = Msg.info_bytes msg in
+  let ack = Sim.Mailbox.create () in
+  let sent = ref 0 in
+  Array.iter
+    (fun (ep : Endpoint.t) ->
+      if ep.Endpoint.node <> src then begin
+        Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes ep.Endpoint.info_mb
+          { Msg.info = msg; ack = Some (src, ack) };
+        incr sent
+      end)
+    endpoints;
+  for _ = 1 to !sent do
+    Sim.Mailbox.recv ack
+  done;
+  !sent
+
+let fetch net endpoints ~src ~owner req =
+  match
+    Array.find_opt (fun (ep : Endpoint.t) -> ep.Endpoint.node = owner) endpoints
+  with
+  | None -> invalid_arg "Broadcast.fetch: unknown owner endpoint"
+  | Some ep ->
+      Sim.Net.send net ~src ~dst:owner
+        ~bytes:(Msg.fetch_request_bytes req)
+        ep.Endpoint.data_mb req

@@ -1,0 +1,26 @@
+(** Asynchronous directory-information broadcast.
+
+    When a node inserts or deletes a cache entry it sends the update to
+    every peer without waiting for acknowledgements — the paper's weak
+    inter-node consistency protocol (no two-phase commit, no global locks;
+    replicas may briefly diverge, producing false hits/misses). *)
+
+(** [info net endpoints ~src msg] transmits [msg] from node [src] to every
+    other endpoint (in endpoint order), fire-and-forget. The caller's
+    simulated thread pays the (tiny) NIC transmission times; deliveries
+    happen after the network latency. Returns the number of peers
+    messaged. Must run in a process. *)
+val info :
+  Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
+
+(** [info_sync net endpoints ~src msg] sends [msg] with acknowledgement
+    requests and blocks until every peer has applied it — the strong
+    protocol of the consistency ablation. Returns the number of peers. *)
+val info_sync :
+  Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
+
+(** [fetch net endpoints ~src ~owner req] sends a data-fetch request to
+    [owner]'s data server. *)
+val fetch :
+  Sim.Net.t -> Endpoint.t array -> src:int -> owner:int ->
+  Msg.fetch_request -> unit

@@ -1,0 +1,8 @@
+type t = {
+  node : int;
+  info_mb : Msg.info_envelope Sim.Mailbox.t;
+  data_mb : Msg.fetch_request Sim.Mailbox.t;
+}
+
+let make ~node =
+  { node; info_mb = Sim.Mailbox.create (); data_mb = Sim.Mailbox.create () }

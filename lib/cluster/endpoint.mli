@@ -1,0 +1,11 @@
+(** A node's protocol endpoints: the mailboxes its cacher-module daemons
+    listen on, plus its network address. *)
+
+type t = {
+  node : int;  (** node id; doubles as the network endpoint id *)
+  info_mb : Msg.info_envelope Sim.Mailbox.t;
+      (** consumed by the info receiver *)
+  data_mb : Msg.fetch_request Sim.Mailbox.t;  (** consumed by the data server *)
+}
+
+val make : node:int -> t

@@ -1,0 +1,32 @@
+type info =
+  | Insert of Cache.Meta.t
+  | Delete of { node : int; key : string }
+
+type info_envelope = {
+  info : info;
+  ack : (int * unit Sim.Mailbox.t) option;
+}
+
+type fetch_reply =
+  | Hit of { meta : Cache.Meta.t; body : string }
+  | Miss of { key : string }
+
+type fetch_request = {
+  key : string;
+  requester : int;
+  reply : fetch_reply Sim.Mailbox.t;
+}
+
+(* Wire-size estimates: key text plus a fixed envelope. *)
+let envelope = 64
+
+let info_bytes = function
+  | Insert meta -> envelope + String.length meta.Cache.Meta.key + 40
+  | Delete { key; _ } -> envelope + String.length key
+
+let fetch_request_bytes { key; _ } = envelope + String.length key
+
+let fetch_reply_bytes = function
+  | Hit { meta; body } ->
+      envelope + String.length meta.Cache.Meta.key + String.length body
+  | Miss { key } -> envelope + String.length key

@@ -1,0 +1,41 @@
+(** Inter-node protocol messages (paper §4.1-4.2).
+
+    Three daemon threads per node consume these: the info receiver applies
+    {!info} broadcasts to the local directory replica, the data server
+    answers {!fetch_request}s, and the purge thread originates [Delete]
+    broadcasts for expired entries. *)
+
+(** Directory maintenance traffic, broadcast after local inserts/deletes. *)
+type info =
+  | Insert of Cache.Meta.t
+  | Delete of { node : int; key : string }
+
+(** What actually travels on the info channel. Under the paper's weak
+    protocol [ack] is [None] (fire-and-forget); the synchronous-consistency
+    ablation sets it to [(sender, mailbox)], and the receiver acknowledges
+    over the network after applying the update, letting the sender block
+    until every replica is consistent — the "variation of a two-phase
+    commit" §4.2 rejects as too expensive. *)
+type info_envelope = {
+  info : info;
+  ack : (int * unit Sim.Mailbox.t) option;  (** (sender endpoint, inbox) *)
+}
+
+(** Reply to a remote-cache fetch. [Miss] is the protocol's "false hit"
+    outcome: the entry was deleted at the owner after the requester looked
+    it up; the requester then executes the CGI locally (Figure 2). *)
+type fetch_reply =
+  | Hit of { meta : Cache.Meta.t; body : string }
+  | Miss of { key : string }
+
+type fetch_request = {
+  key : string;
+  requester : int;
+  reply : fetch_reply Sim.Mailbox.t;
+}
+
+(** Approximate wire sizes, used to charge the network model. *)
+val info_bytes : info -> int
+
+val fetch_request_bytes : fetch_request -> int
+val fetch_reply_bytes : fetch_reply -> int

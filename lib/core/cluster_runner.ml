@@ -1,0 +1,131 @@
+type result = {
+  response : Metrics.Sample.t;
+  cgi_response : Metrics.Sample.t;
+  file_response : Metrics.Sample.t;
+  counters : Metrics.Counter.t;
+  per_node_counters : Metrics.Counter.t array;
+  duration : float;
+  n_requests : int;
+  hits : int;
+  hit_ratio : float;
+  utilisation : float array;
+  dir_locks : int * int;
+  store_stats : Cache.Stats.t;
+}
+
+let mean_response r = Metrics.Sample.mean r.response
+
+(* Split the trace round-robin over the streams, preserving order. *)
+let split_streams trace n_streams =
+  let streams = Array.make n_streams [] in
+  List.iteri
+    (fun i item -> streams.(i mod n_streams) <- item :: streams.(i mod n_streams))
+    trace;
+  Array.map List.rev streams
+
+let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.n_nodes)
+    ?router ?(observe = fun ~time:_ _ -> ()) ~registry () =
+  if n_streams < 1 then invalid_arg "Cluster_runner.run: n_streams must be >= 1";
+  let engine = Sim.Engine.create () in
+  let cluster =
+    Server.create_cluster engine cfg ~registry ~n_client_endpoints:n_streams
+  in
+  let router = Option.map Router.create router in
+  let streams = split_streams trace n_streams in
+  let response = Metrics.Sample.create () in
+  let cgi_response = Metrics.Sample.create () in
+  let file_response = Metrics.Sample.create () in
+  let latch = Sim.Latch.create n_streams in
+  let finished_at = ref 0. in
+  Server.start cluster;
+  Sim.Engine.spawn engine (fun () ->
+      (match warmup with Some f -> f cluster | None -> ());
+      (* Release the client streams only after warm-up completes. *)
+      Array.iteri
+        (fun s items ->
+          let client = cfg.Config.n_nodes + s in
+          let pinned = assign s in
+          Sim.Engine.spawn_child (fun () ->
+              List.iter
+                (fun item ->
+                  let req = Workload.Trace.to_request item in
+                  let target =
+                    match router with
+                    | Some r -> Router.pick r cluster ~stream:s req
+                    | None -> pinned
+                  in
+                  let t0 = Sim.Engine.now () in
+                  let (_ : Http.Response.t) =
+                    Server.submit cluster ~client ~node:target req
+                  in
+                  let dt = Sim.Engine.now () -. t0 in
+                  Metrics.Sample.add response dt;
+                  observe ~time:(Sim.Engine.now ()) dt;
+                  if Workload.Trace.is_cgi item then
+                    Metrics.Sample.add cgi_response dt
+                  else Metrics.Sample.add file_response dt)
+                items;
+              Sim.Latch.arrive latch))
+        streams;
+      Sim.Latch.wait latch;
+      finished_at := Sim.Engine.now ();
+      Server.stop cluster);
+  Sim.Engine.run engine;
+  let duration = !finished_at in
+  let per_node_counters =
+    Array.init (Server.n_nodes cluster) (fun i ->
+        Server.node_counters (Server.node cluster i))
+  in
+  let counters = Server.merged_counters cluster in
+  let hits = Server.total_hits cluster in
+  let n_cgi =
+    Metrics.Counter.get counters Server.K.cgi_execs
+    + Metrics.Counter.get counters Server.K.hit_local
+    + Metrics.Counter.get counters Server.K.hit_remote
+  in
+  {
+    response;
+    cgi_response;
+    file_response;
+    counters;
+    per_node_counters;
+    duration;
+    n_requests = Workload.Trace.length trace;
+    hits;
+    hit_ratio = (if n_cgi = 0 then 0. else float_of_int hits /. float_of_int n_cgi);
+    utilisation =
+      Array.init (Server.n_nodes cluster) (fun i ->
+          Sim.Cpu.utilisation
+            (Server.node_cpu (Server.node cluster i))
+            ~elapsed:(Stdlib.max duration 1e-9));
+    dir_locks =
+      (let rd = ref 0 and wr = ref 0 in
+       for i = 0 to Server.n_nodes cluster - 1 do
+         let r, w =
+           Cache.Directory.lock_acquisitions
+             (Server.node_directory (Server.node cluster i))
+         in
+         rd := !rd + r;
+         wr := !wr + w
+       done;
+       (!rd, !wr));
+    store_stats =
+      (let acc = ref (Cache.Stats.create ()) in
+       for i = 0 to Server.n_nodes cluster - 1 do
+         acc :=
+           Cache.Stats.merge !acc
+             (Cache.Store.stats (Server.node_store (Server.node cluster i)))
+       done;
+       !acc);
+  }
+
+let default_registry trace =
+  let registry = Cgi.Registry.create () in
+  Workload.Synthetic.register_scripts registry;
+  Workload.Webstone.register_files registry;
+  Workload.Synthetic.register_trace_files registry trace;
+  registry
+
+let run cfg ~trace ~n_streams ?warmup ?assign ?router ?observe () =
+  run_with cfg ~trace ~n_streams ?warmup ?assign ?router ?observe
+    ~registry:(default_registry trace) ()

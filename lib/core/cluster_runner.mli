@@ -1,0 +1,67 @@
+(** Drive a Swala cluster with a workload and collect metrics.
+
+    Replays a {!Workload.Trace.t} through closed-loop client streams, the
+    way WebStone and the paper's trace replays drive their servers: the
+    trace is split round-robin over [n_streams] client threads (preserving
+    each stream's relative order), stream [i] targets node [i mod n_nodes],
+    and every stream issues its requests back-to-back, waiting for each
+    response before sending the next. *)
+
+type result = {
+  response : Metrics.Sample.t;  (** client-observed response times *)
+  cgi_response : Metrics.Sample.t;
+  file_response : Metrics.Sample.t;
+  counters : Metrics.Counter.t;  (** merged over all nodes *)
+  per_node_counters : Metrics.Counter.t array;
+  duration : float;  (** simulated makespan *)
+  n_requests : int;
+  hits : int;  (** local + remote cache hits *)
+  hit_ratio : float;  (** hits over CGI requests *)
+  utilisation : float array;  (** per-node CPU utilisation over [duration] *)
+  dir_locks : int * int;
+      (** (read, write) directory lock acquisitions summed over nodes *)
+  store_stats : Cache.Stats.t;  (** local-store statistics merged over nodes *)
+}
+
+val mean_response : result -> float
+
+(** [run cfg ~trace ~n_streams ?warmup ?assign ?router ()] builds a fresh
+    engine and cluster, replays [trace], and returns collected metrics.
+
+    [warmup] runs inside the simulation before any client starts (use it
+    with [Server.preload] to warm caches). [assign] overrides the
+    stream→node mapping (default [fun stream -> stream mod n_nodes]);
+    [router] instead picks a node per request and takes precedence over
+    [assign] when given.
+
+    [observe] is called after every completed request with the completion
+    time (simulated) and the response time — hook a [Metrics.Timeseries]
+    in to study transients such as cache warm-up.
+
+    The run is deterministic given [cfg.seed] and the trace. *)
+val run :
+  Config.t ->
+  trace:Workload.Trace.t ->
+  n_streams:int ->
+  ?warmup:(Server.cluster -> unit) ->
+  ?assign:(int -> int) ->
+  ?router:Router.policy ->
+  ?observe:(time:float -> float -> unit) ->
+  unit ->
+  result
+
+(** [run_with cfg ~trace ~n_streams ?warmup ?assign ?router ~registry ()]
+    is {!run} with a caller-prepared script/file registry (the default
+    registers the synthetic scripts, the WebStone files and the trace's
+    static files). *)
+val run_with :
+  Config.t ->
+  trace:Workload.Trace.t ->
+  n_streams:int ->
+  ?warmup:(Server.cluster -> unit) ->
+  ?assign:(int -> int) ->
+  ?router:Router.policy ->
+  ?observe:(time:float -> float -> unit) ->
+  registry:Cgi.Registry.t ->
+  unit ->
+  result

@@ -1,0 +1,209 @@
+type cache_mode = Disabled | Standalone | Cooperative
+
+let cache_mode_to_string = function
+  | Disabled -> "no-cache"
+  | Standalone -> "standalone"
+  | Cooperative -> "cooperative"
+
+type consistency = Weak | Strong
+
+let consistency_to_string = function Weak -> "weak" | Strong -> "strong"
+
+type server_model = {
+  model_name : string;
+  accept_cost : float;
+  per_request_fork : float;
+  per_byte_send : float;
+  cgi_overhead_factor : float;
+  contention_coeff : float;
+}
+
+(* Swala: threaded, memory-mapped I/O — cheap per-byte path and little
+   per-connection bookkeeping. *)
+let swala_model =
+  {
+    model_name = "swala";
+    accept_cost = 0.0015;
+    per_request_fork = 0.;
+    per_byte_send = 2.5e-8;
+    cgi_overhead_factor = 1.0;
+    contention_coeff = 2e-5;
+  }
+
+(* NCSA HTTPd: a process per request (the paper names this as the reason it
+   trails threaded servers by 2-7x), double-buffered writes. *)
+let httpd_model =
+  {
+    model_name = "httpd";
+    accept_cost = 0.002;
+    per_request_fork = 0.008;
+    per_byte_send = 6e-8;
+    cgi_overhead_factor = 1.0;
+    contention_coeff = 8e-5;
+  }
+
+(* Netscape Enterprise: fastest accept path (wins at low client counts) but
+   more per-connection bookkeeping (loses at high counts) and a slower CGI
+   interface (slowest bar in the paper's Figure 3). *)
+let enterprise_model =
+  {
+    model_name = "enterprise";
+    accept_cost = 0.0010;
+    per_request_fork = 0.;
+    per_byte_send = 2.5e-8;
+    cgi_overhead_factor = 1.6;
+    contention_coeff = 4e-5;
+  }
+
+type t = {
+  n_nodes : int;
+  threads_per_node : int;
+  cores_per_node : int;
+  cpu_speed : float;
+  model : server_model;
+  cache_mode : cache_mode;
+  cache_capacity : int;
+  policy : Cache.Policy.t;
+  consistency : consistency;
+  rules : Rules.t;
+  cache_threshold : float;
+  default_ttl : float option;
+  purge_interval : float;
+  local_fetch_cost : float;
+  remote_fetch_cost : float;
+  data_server_cost : float;
+  insert_cost : float;
+  info_apply_cost : float;
+  dir_granularity : Cache.Directory.granularity;
+  dir_lock_overhead : float;
+  dir_scan_cost : float;
+  net_latency : float;
+  net_bandwidth : float;
+  net_loss : float;
+  fetch_timeout : float option;
+  broadcast_latency : float option;
+  fs_cache_hit : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_nodes = 1;
+    threads_per_node = 16;
+    cores_per_node = 1;
+    cpu_speed = 1.0;
+    model = swala_model;
+    cache_mode = Cooperative;
+    cache_capacity = 2000;
+    policy = Cache.Policy.Lru;
+    consistency = Weak;
+    rules = Rules.empty;
+    cache_threshold = 0.1;
+    default_ttl = None;
+    purge_interval = 5.0;
+    local_fetch_cost = 0.004;
+    remote_fetch_cost = 0.0055;
+    data_server_cost = 0.002;
+    insert_cost = 0.002;
+    info_apply_cost = 0.0001;
+    dir_granularity = Cache.Directory.Per_table;
+    dir_lock_overhead = 2e-6;
+    dir_scan_cost = 0.;
+    net_latency = 0.0002;
+    net_bandwidth = 12.5e6;
+    net_loss = 0.;
+    fetch_timeout = None;
+    broadcast_latency = None;
+    fs_cache_hit = 0.95;
+    seed = 42;
+  }
+
+let make ?(n_nodes = default.n_nodes)
+    ?(threads_per_node = default.threads_per_node)
+    ?(cores_per_node = default.cores_per_node) ?(cpu_speed = default.cpu_speed)
+    ?(model = default.model) ?(cache_mode = default.cache_mode)
+    ?(cache_capacity = default.cache_capacity) ?(policy = default.policy)
+    ?(consistency = default.consistency) ?(rules = default.rules)
+    ?(cache_threshold = default.cache_threshold)
+    ?(default_ttl = default.default_ttl)
+    ?(purge_interval = default.purge_interval)
+    ?(local_fetch_cost = default.local_fetch_cost)
+    ?(remote_fetch_cost = default.remote_fetch_cost)
+    ?(data_server_cost = default.data_server_cost)
+    ?(insert_cost = default.insert_cost)
+    ?(info_apply_cost = default.info_apply_cost)
+    ?(dir_granularity = default.dir_granularity)
+    ?(dir_lock_overhead = default.dir_lock_overhead)
+    ?(dir_scan_cost = default.dir_scan_cost)
+    ?(net_latency = default.net_latency)
+    ?(net_bandwidth = default.net_bandwidth) ?(net_loss = default.net_loss)
+    ?(fetch_timeout = default.fetch_timeout)
+    ?(broadcast_latency = default.broadcast_latency)
+    ?(fs_cache_hit = default.fs_cache_hit) ?(seed = default.seed) () =
+  {
+    n_nodes;
+    threads_per_node;
+    cores_per_node;
+    cpu_speed;
+    model;
+    cache_mode;
+    cache_capacity;
+    policy;
+    consistency;
+    rules;
+    cache_threshold;
+    default_ttl;
+    purge_interval;
+    local_fetch_cost;
+    remote_fetch_cost;
+    data_server_cost;
+    insert_cost;
+    info_apply_cost;
+    dir_granularity;
+    dir_lock_overhead;
+    dir_scan_cost;
+    net_latency;
+    net_bandwidth;
+    net_loss;
+    fetch_timeout;
+    broadcast_latency;
+    fs_cache_hit;
+    seed;
+  }
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
+  check (t.n_nodes >= 1) "n_nodes must be >= 1";
+  check (t.threads_per_node >= 1) "threads_per_node must be >= 1";
+  check (t.cores_per_node >= 1) "cores_per_node must be >= 1";
+  check (t.cpu_speed > 0.) "cpu_speed must be positive";
+  check (t.cache_capacity >= 1) "cache_capacity must be >= 1";
+  check (t.cache_threshold >= 0.) "cache_threshold must be >= 0";
+  check (t.purge_interval > 0.) "purge_interval must be positive";
+  check (t.net_bandwidth > 0.) "net_bandwidth must be positive";
+  check (t.net_latency >= 0.) "net_latency must be >= 0";
+  check
+    (t.fs_cache_hit >= 0. && t.fs_cache_hit <= 1.)
+    "fs_cache_hit must be in [0,1]";
+  (match t.default_ttl with
+  | Some ttl -> check (ttl > 0.) "default_ttl must be positive"
+  | None -> ());
+  (match t.broadcast_latency with
+  | Some d -> check (d >= 0.) "broadcast_latency must be >= 0"
+  | None -> ());
+  check (t.net_loss >= 0. && t.net_loss <= 1.) "net_loss must be in [0,1]";
+  (match t.fetch_timeout with
+  | Some d -> check (d > 0.) "fetch_timeout must be positive"
+  | None ->
+      check (t.net_loss = 0.)
+        "net_loss > 0 requires a fetch_timeout (lost replies would wedge \
+         request threads)");
+  if t.consistency = Strong then
+    check (t.net_loss = 0.)
+      "the strong protocol has no ack retransmission; net_loss must be 0";
+  check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
+  check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
+  check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";
+  check (t.data_server_cost >= 0.) "data_server_cost must be >= 0";
+  check (t.insert_cost >= 0.) "insert_cost must be >= 0";
+  check (t.info_apply_cost >= 0.) "info_apply_cost must be >= 0"

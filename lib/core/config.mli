@@ -1,0 +1,133 @@
+(** Swala server and experiment configuration.
+
+    The cost constants parameterise the simulated substrate. They are
+    calibrated so that an unloaded reference node reproduces the paper's
+    measured scale: file fetches of a few milliseconds, CGI start-up
+    (fork + exec) around 30 ms, CGI executions of 0.1-10 s, and cache
+    fetches an order of magnitude cheaper than re-execution. Experiments
+    compare configurations, so shapes — orderings, ratios, crossovers —
+    are what these constants are tuned for (see EXPERIMENTS.md). *)
+
+type cache_mode =
+  | Disabled  (** execute every CGI; the no-cache baseline *)
+  | Standalone  (** each node caches privately; no directory traffic *)
+  | Cooperative  (** replicated directory + remote fetch (the paper) *)
+
+val cache_mode_to_string : cache_mode -> string
+
+(** Inter-node directory consistency. [Weak] is the paper's protocol:
+    updates are broadcast asynchronously and replicas may briefly diverge.
+    [Strong] makes every insert/delete wait for acknowledgement from every
+    peer before the client is answered — the commit-style protocol §4.2
+    rejects; it exists to measure what that rejection saves. *)
+type consistency = Weak | Strong
+
+val consistency_to_string : consistency -> string
+
+(** Cost profile of a server implementation. Three models reproduce the
+    paper's comparison: Swala (threaded, memory-mapped I/O), NCSA
+    HTTPd-like (process per request) and Netscape Enterprise-like
+    (threaded; cheapest accept path but more per-connection bookkeeping,
+    and a slower CGI interface). *)
+type server_model = {
+  model_name : string;
+  accept_cost : float;  (** CPU s per request: accept, parse, dispatch *)
+  per_request_fork : float;  (** CPU s to fork a handler process (HTTPd) *)
+  per_byte_send : float;  (** CPU s per body byte written to the client *)
+  cgi_overhead_factor : float;  (** multiplier on a script's fork+exec cost *)
+  contention_coeff : float;
+      (** extra CPU s per concurrently-active request, modelling
+          per-connection bookkeeping/locking that grows with load *)
+}
+
+val swala_model : server_model
+val httpd_model : server_model
+val enterprise_model : server_model
+
+type t = {
+  n_nodes : int;
+  threads_per_node : int;  (** request-thread pool size (HTTP module) *)
+  cores_per_node : int;
+  cpu_speed : float;
+  model : server_model;
+  cache_mode : cache_mode;
+  cache_capacity : int;  (** entries per node *)
+  policy : Cache.Policy.t;
+  consistency : consistency;
+  rules : Rules.t;
+      (** administrator cacheability rules (§4.1's configuration file);
+          a rule's decision composes with the script's own [cacheable]
+          flag, and its ttl/threshold attributes override the defaults *)
+  cache_threshold : float;
+      (** only results whose execution took at least this many seconds are
+          cached (the paper's runtime-defined limit) *)
+  default_ttl : float option;  (** TTL for scripts that don't set one *)
+  purge_interval : float;  (** purge-daemon wake-up period *)
+  local_fetch_cost : float;  (** CPU s to open+map a cached result file *)
+  remote_fetch_cost : float;
+      (** CPU s on the requester to run the remote-fetch protocol *)
+  data_server_cost : float;  (** CPU s on the owner to serve one fetch *)
+  insert_cost : float;  (** CPU s to create the entry + result file *)
+  info_apply_cost : float;  (** CPU s to apply one directory update *)
+  dir_granularity : Cache.Directory.granularity;
+  dir_lock_overhead : float;  (** s per directory lock acquisition *)
+  dir_scan_cost : float;
+      (** s per table entry examined while holding the directory lock
+          (default 0; raised by the locking ablation) *)
+  net_latency : float;
+  net_bandwidth : float;
+  net_loss : float;
+      (** probability a protocol message (directory update, fetch
+          request/reply) is silently dropped — failure injection; requires
+          [fetch_timeout] so lost fetches cannot wedge request threads *)
+  fetch_timeout : float option;
+      (** how long a request thread waits for a remote-fetch reply before
+          giving up and executing the CGI locally ([None] = forever, safe
+          only on a loss-free network) *)
+  broadcast_latency : float option;
+      (** if set, directory-update broadcasts are delivered after this
+          delay instead of the network latency — models slow or batched
+          propagation of the weak-consistency protocol (ablation A3) *)
+  fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
+  seed : int;
+}
+
+(** [default] is a single cooperative Swala node with a 2000-entry LRU
+    cache, 16 request threads, and the calibrated cost constants. *)
+val default : t
+
+(** [make ?...] overrides fields of {!default}. *)
+val make :
+  ?n_nodes:int ->
+  ?threads_per_node:int ->
+  ?cores_per_node:int ->
+  ?cpu_speed:float ->
+  ?model:server_model ->
+  ?cache_mode:cache_mode ->
+  ?cache_capacity:int ->
+  ?policy:Cache.Policy.t ->
+  ?consistency:consistency ->
+  ?rules:Rules.t ->
+  ?cache_threshold:float ->
+  ?default_ttl:float option ->
+  ?purge_interval:float ->
+  ?local_fetch_cost:float ->
+  ?remote_fetch_cost:float ->
+  ?data_server_cost:float ->
+  ?insert_cost:float ->
+  ?info_apply_cost:float ->
+  ?dir_granularity:Cache.Directory.granularity ->
+  ?dir_lock_overhead:float ->
+  ?dir_scan_cost:float ->
+  ?net_latency:float ->
+  ?net_bandwidth:float ->
+  ?net_loss:float ->
+  ?fetch_timeout:float option ->
+  ?broadcast_latency:float option ->
+  ?fs_cache_hit:float ->
+  ?seed:int ->
+  unit ->
+  t
+
+(** [validate t] raises [Invalid_argument] on nonsensical settings. *)
+val validate : t -> unit

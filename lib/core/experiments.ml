@@ -1,0 +1,572 @@
+(* Experiment drivers. Layout conventions:
+   - every driver takes ?seed and derives all randomness from it;
+   - "mean response" is the client-observed mean over every request of the
+     run, matching how WebStone and the paper's replays report results. *)
+
+let default_seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Table 1 *)
+
+let table1 ?(seed = default_seed) ?params ?(thresholds = [ 0.5; 1.0; 2.0; 4.0 ])
+    () =
+  let trace = Workload.Synthetic.adl ~seed ?params () in
+  ( Workload.Analyzer.summarize trace,
+    Workload.Analyzer.table1 trace ~thresholds )
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Table 2 *)
+
+type table2_row = {
+  clients : int;
+  httpd : float;
+  enterprise : float;
+  swala : float;
+}
+
+let run_file_mix ~seed ~model ~clients ~requests_per_client =
+  let trace =
+    Workload.Webstone.file_trace ~seed ~n:(clients * requests_per_client)
+  in
+  let cfg =
+    Config.make ~cache_mode:Config.Disabled ~model
+      ~threads_per_node:(Stdlib.max 16 clients) ~seed ()
+  in
+  let result = Cluster_runner.run cfg ~trace ~n_streams:clients () in
+  Cluster_runner.mean_response result
+
+let table2 ?(seed = default_seed) ?(clients = [ 4; 8; 16; 32; 64; 128 ])
+    ?(requests_per_client = 40) () =
+  List.map
+    (fun c ->
+      {
+        clients = c;
+        httpd =
+          run_file_mix ~seed ~model:Config.httpd_model ~clients:c
+            ~requests_per_client;
+        enterprise =
+          run_file_mix ~seed ~model:Config.enterprise_model ~clients:c
+            ~requests_per_client;
+        swala =
+          run_file_mix ~seed ~model:Config.swala_model ~clients:c
+            ~requests_per_client;
+      })
+    clients
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Figure 3 *)
+
+type figure3 = {
+  enterprise_f3 : float;
+  httpd_f3 : float;
+  swala_no_cache : float;
+  swala_remote : float;
+  swala_local : float;
+}
+
+let null_request () =
+  Workload.Trace.to_request
+    (List.hd (Workload.Webstone.null_cgi_trace ~n:1))
+
+let figure3 ?(seed = default_seed) ?(clients = 24) ?(requests_per_client = 40)
+    () =
+  let trace = Workload.Webstone.null_cgi_trace ~n:(clients * requests_per_client) in
+  let run_plain model =
+    let cfg =
+      Config.make ~cache_mode:Config.Disabled ~model ~threads_per_node:clients
+        ~seed ()
+    in
+    Cluster_runner.mean_response (Cluster_runner.run cfg ~trace ~n_streams:clients ())
+  in
+  (* Local fetch: one cooperative node, cache warmed with the null CGI. *)
+  let local =
+    let cfg =
+      Config.make ~cache_mode:Config.Cooperative ~threads_per_node:clients
+        ~cache_threshold:0. ~seed ()
+    in
+    let warmup cluster =
+      Server.preload cluster ~node:0 (null_request ()) ~exec_time:0.03
+    in
+    Cluster_runner.mean_response
+      (Cluster_runner.run cfg ~trace ~n_streams:clients ~warmup ())
+  in
+  (* Remote fetch: two nodes; node 0 holds the entry, all clients hit node 1. *)
+  let remote =
+    let cfg =
+      Config.make ~n_nodes:2 ~cache_mode:Config.Cooperative
+        ~threads_per_node:clients ~cache_threshold:0. ~seed ()
+    in
+    let warmup cluster =
+      Server.preload cluster ~node:0 (null_request ()) ~exec_time:0.03;
+      (* Let the insert broadcast reach node 1's directory replica. *)
+      Sim.Engine.delay 0.01
+    in
+    Cluster_runner.mean_response
+      (Cluster_runner.run cfg ~trace ~n_streams:clients ~warmup
+         ~assign:(fun _ -> 1) ())
+  in
+  {
+    enterprise_f3 = run_plain Config.enterprise_model;
+    httpd_f3 = run_plain Config.httpd_model;
+    swala_no_cache = run_plain Config.swala_model;
+    swala_remote = remote;
+    swala_local = local;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Figure 4 *)
+
+type figure4_row = {
+  nodes : int;
+  no_cache : float;
+  coop : float;
+  speedup_no_cache : float;
+  improvement : float;
+}
+
+let figure4 ?(seed = default_seed) ?(node_counts = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(n_requests = 8_000) () =
+  let trace = Workload.Synthetic.adl_scaled ~seed ~n:n_requests in
+  (* Two client machines x eight threads, as in §5.2. *)
+  let n_streams = 16 in
+  let run nodes mode =
+    let cfg =
+      Config.make ~n_nodes:nodes ~cache_mode:mode ~seed
+        ~threads_per_node:16 ()
+    in
+    Cluster_runner.mean_response
+      (Cluster_runner.run cfg ~trace ~n_streams ())
+  in
+  let rows =
+    List.map
+      (fun nodes ->
+        let no_cache = run nodes Config.Disabled in
+        let coop = run nodes Config.Cooperative in
+        (nodes, no_cache, coop))
+      node_counts
+  in
+  let base =
+    match rows with
+    | (_, nc, _) :: _ -> nc
+    | [] -> invalid_arg "figure4: empty node_counts"
+  in
+  List.map
+    (fun (nodes, no_cache, coop) ->
+      {
+        nodes;
+        no_cache;
+        coop;
+        speedup_no_cache = base /. no_cache;
+        improvement = (no_cache -. coop) /. no_cache;
+      })
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Table 3 *)
+
+type table3_row = {
+  nodes_t3 : int;
+  no_cache_t3 : float;
+  coop_t3 : float;
+  increase_t3 : float;
+}
+
+let table3 ?(seed = default_seed) ?(node_counts = [ 2; 3; 4; 5; 6; 7; 8 ])
+    ?(n_requests = 180) () =
+  let trace = Workload.Synthetic.unique_cacheable ~n:n_requests ~demand:1.0 in
+  let run nodes mode =
+    let cfg = Config.make ~n_nodes:nodes ~cache_mode:mode ~seed () in
+    (* All requests to one node, back to back (single stream). *)
+    Cluster_runner.mean_response
+      (Cluster_runner.run cfg ~trace ~n_streams:1 ~assign:(fun _ -> 0) ())
+  in
+  List.map
+    (fun nodes ->
+      let no_cache = run nodes Config.Disabled in
+      let coop = run nodes Config.Cooperative in
+      {
+        nodes_t3 = nodes;
+        no_cache_t3 = no_cache;
+        coop_t3 = coop;
+        increase_t3 = coop -. no_cache;
+      })
+    node_counts
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Table 4 *)
+
+type table4_row = {
+  ups : int;
+  mean_response_t4 : float;
+  increase_t4 : float;
+  updates_applied : int;
+}
+
+(* One live node told it belongs to an eight-node group; a pseudo-server
+   process injects directory updates at a fixed rate while 180 uncacheable
+   one-second requests run back to back. *)
+let table4_run ~seed ~ups ~n_requests =
+  let engine = Sim.Engine.create () in
+  let cfg =
+    Config.make ~n_nodes:8 ~cache_mode:Config.Cooperative ~seed ()
+  in
+  let registry = Cgi.Registry.create () in
+  Workload.Synthetic.register_scripts registry;
+  let cluster =
+    Server.create_cluster engine cfg ~registry ~n_client_endpoints:1
+  in
+  let trace = Workload.Synthetic.uncacheable ~n:n_requests ~demand:1.0 in
+  let sample = Metrics.Sample.create () in
+  let done_ = ref false in
+  Server.start cluster;
+  let client = 8 (* first client endpoint *) in
+  Sim.Engine.spawn engine (fun () ->
+      List.iter
+        (fun item ->
+          let req = Workload.Trace.to_request item in
+          let t0 = Sim.Engine.now () in
+          let (_ : Http.Response.t) = Server.submit cluster ~client ~node:0 req in
+          Metrics.Sample.add sample (Sim.Engine.now () -. t0))
+        trace;
+      done_ := true;
+      Server.stop cluster);
+  if ups > 0 then
+    Sim.Engine.spawn engine (fun () ->
+        let period = 1. /. float_of_int ups in
+        let k = ref 0 in
+        let rec loop () =
+          if not !done_ then begin
+            Sim.Engine.delay period;
+            incr k;
+            let meta =
+              Cache.Meta.make
+                ~key:(Printf.sprintf "GET /pseudo?i=%d" !k)
+                ~owner:(1 + (!k mod 7))
+                ~size:4096 ~exec_time:1.0 ~created:(Sim.Engine.now ())
+                ~expires:None
+            in
+            Sim.Net.post (Server.net cluster) ~src:(1 + (!k mod 7)) ~dst:0
+              ~bytes:128
+              (Server.node_info_mailbox (Server.node cluster 0))
+              { Cluster.Msg.info = Cluster.Msg.Insert meta; ack = None };
+            loop ()
+          end
+        in
+        loop ());
+  Sim.Engine.run engine;
+  let counters = Server.node_counters (Server.node cluster 0) in
+  ( Metrics.Sample.mean sample,
+    Metrics.Counter.get counters Server.K.info_applied )
+
+let table4 ?(seed = default_seed) ?(ups_list = [ 0; 5; 10; 20; 40; 80 ])
+    ?(n_requests = 180) () =
+  let rows =
+    List.map (fun ups -> (ups, table4_run ~seed ~ups ~n_requests)) ups_list
+  in
+  let base =
+    match rows with
+    | (_, (m, _)) :: _ -> m
+    | [] -> invalid_arg "table4: empty ups_list"
+  in
+  List.map
+    (fun (ups, (mean, applied)) ->
+      {
+        ups;
+        mean_response_t4 = mean;
+        increase_t4 = mean -. base;
+        updates_applied = applied;
+      })
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7/E8 — Tables 5-6 *)
+
+type hit_row = {
+  nodes_h : int;
+  standalone_hits : int;
+  coop_hits : int;
+  upper_bound : int;
+  standalone_pct : float;
+  coop_pct : float;
+  coop_false_misses : int;
+}
+
+let hit_ratio_table ?(seed = default_seed) ?(node_counts = [ 1; 2; 4; 6; 8 ])
+    ?(n = 1600) ?(n_unique = 1122) ~cache_size () =
+  let trace =
+    Workload.Synthetic.coop ~seed ~n ~n_unique ~locality:0.08 ()
+  in
+  let upper = Workload.Analyzer.upper_bound_hits trace in
+  let run nodes mode =
+    let cfg =
+      Config.make ~n_nodes:nodes ~cache_mode:mode ~cache_capacity:cache_size
+        ~seed ()
+    in
+    Cluster_runner.run cfg ~trace ~n_streams:16 ()
+  in
+  List.map
+    (fun nodes ->
+      let st = run nodes Config.Standalone in
+      let co = run nodes Config.Cooperative in
+      let pct h = if upper = 0 then 0. else float_of_int h /. float_of_int upper in
+      {
+        nodes_h = nodes;
+        standalone_hits = st.Cluster_runner.hits;
+        coop_hits = co.Cluster_runner.hits;
+        upper_bound = upper;
+        standalone_pct = pct st.Cluster_runner.hits;
+        coop_pct = pct co.Cluster_runner.hits;
+        coop_false_misses =
+          Metrics.Counter.get co.Cluster_runner.counters
+            Server.K.false_miss_concurrent
+          + Metrics.Counter.get co.Cluster_runner.counters
+              Server.K.false_miss_duplicate;
+      })
+    node_counts
+
+(* ------------------------------------------------------------------ *)
+(* A1 — replacement policies *)
+
+type policy_row = {
+  policy : Cache.Policy.t;
+  hits_p : int;
+  upper_p : int;
+  mean_response_p : float;
+}
+
+let ablation_policy ?(seed = default_seed) ?(cache_size = 20) ?(nodes = 4) () =
+  let trace = Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08 () in
+  let upper = Workload.Analyzer.upper_bound_hits trace in
+  List.map
+    (fun policy ->
+      let cfg =
+        Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+          ~cache_capacity:cache_size ~policy ~seed ()
+      in
+      let r = Cluster_runner.run cfg ~trace ~n_streams:16 () in
+      {
+        policy;
+        hits_p = r.Cluster_runner.hits;
+        upper_p = upper;
+        mean_response_p = Cluster_runner.mean_response r;
+      })
+    Cache.Policy.all
+
+(* ------------------------------------------------------------------ *)
+(* A2 — locking granularity *)
+
+type locking_row = {
+  granularity : Cache.Directory.granularity;
+  mean_response_l : float;
+  rd_locks : int;
+  wr_locks : int;
+}
+
+let granularity_name = function
+  | Cache.Directory.Global -> "global"
+  | Cache.Directory.Per_table -> "per-table"
+  | Cache.Directory.Per_entry -> "per-entry"
+
+let ablation_locking ?(seed = default_seed) ?(nodes = 4) () =
+  (* Write-heavy, directory-bound regime: every 5 ms CGI is unique, so each
+     request inserts into the directory and every peer applies the
+     broadcast — four write-lock acquisitions per request cluster-wide. The
+     table scan is charged under the lock (100 us per probe), so with one
+     global lock those writes block every concurrent lookup, with per-table
+     locks only the owner's table is blocked, and per-entry locking pays
+     one acquisition per entry scanned — the three-way trade-off of §4.2. *)
+  let trace = Workload.Synthetic.unique_cacheable ~n:4000 ~demand:0.005 in
+  List.map
+    (fun granularity ->
+      let cfg =
+        Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+          ~dir_granularity:granularity ~dir_scan_cost:2e-6
+          ~cache_threshold:0.001 ~seed ()
+      in
+      let r = Cluster_runner.run cfg ~trace ~n_streams:(12 * nodes) () in
+      let rd, wr = r.Cluster_runner.dir_locks in
+      {
+        granularity;
+        mean_response_l = Cluster_runner.mean_response r;
+        rd_locks = rd;
+        wr_locks = wr;
+      })
+    [ Cache.Directory.Global; Cache.Directory.Per_table; Cache.Directory.Per_entry ]
+
+(* ------------------------------------------------------------------ *)
+(* A3 — consistency anomalies vs latency *)
+
+(* ------------------------------------------------------------------ *)
+(* A4 — weak vs strong consistency protocol *)
+
+type protocol_row = {
+  latency_pr : float;
+  weak : float;
+  strong : float;
+  penalty : float;
+}
+
+let ablation_protocol ?(seed = default_seed) ?(nodes = 8)
+    ?(latencies = [ 0.0002; 0.002; 0.02 ]) ?(n_requests = 1_000)
+    ?(demand = 0.2) () =
+  let trace = Workload.Synthetic.unique_cacheable ~n:n_requests ~demand in
+  let run latency consistency =
+    let cfg =
+      Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative ~consistency
+        ~net_latency:latency ~cache_threshold:0.05 ~seed ()
+    in
+    Cluster_runner.mean_response
+      (Cluster_runner.run cfg ~trace ~n_streams:16 ())
+  in
+  List.map
+    (fun latency ->
+      let weak = run latency Config.Weak in
+      let strong = run latency Config.Strong in
+      { latency_pr = latency; weak; strong; penalty = strong -. weak })
+    latencies
+
+(* ------------------------------------------------------------------ *)
+(* A5 — routing policy *)
+
+type routing_row = {
+  routing : Router.policy;
+  mode_r : Config.cache_mode;
+  hits_r : int;
+  upper_r : int;
+  mean_response_r : float;
+}
+
+let ablation_routing ?(seed = default_seed) ?(nodes = 4) ?(cache_size = 2000)
+    () =
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08 ()
+  in
+  let upper = Workload.Analyzer.upper_bound_hits trace in
+  List.concat_map
+    (fun routing ->
+      List.map
+        (fun mode ->
+          let cfg =
+            Config.make ~n_nodes:nodes ~cache_mode:mode
+              ~cache_capacity:cache_size ~seed ()
+          in
+          let r =
+            Cluster_runner.run cfg ~trace ~n_streams:16 ~router:routing ()
+          in
+          {
+            routing;
+            mode_r = mode;
+            hits_r = r.Cluster_runner.hits;
+            upper_r = upper;
+            mean_response_r = Cluster_runner.mean_response r;
+          })
+        [ Config.Standalone; Config.Cooperative ])
+    Router.all_policies
+
+(* ------------------------------------------------------------------ *)
+(* A6 — caching threshold sweep *)
+
+type threshold_row = {
+  threshold_t : float;
+  capacity_t : int;
+  mean_response_thr : float;
+  hits_thr : int;
+  inserts_thr : int;
+  evictions_thr : int;
+}
+
+let ablation_threshold ?(seed = default_seed)
+    ?(thresholds = [ 0.0; 0.5; 1.0; 2.0; 4.0 ]) ?(capacities = [ 2000; 50 ])
+    ?(n_requests = 6_000) () =
+  let trace = Workload.Synthetic.adl_scaled ~seed ~n:n_requests in
+  List.concat_map
+    (fun capacity ->
+      List.map
+        (fun threshold ->
+          let cfg =
+            Config.make ~n_nodes:4 ~cache_mode:Config.Cooperative
+              ~cache_capacity:capacity ~cache_threshold:threshold ~seed ()
+          in
+          let r = Cluster_runner.run cfg ~trace ~n_streams:16 () in
+          {
+            threshold_t = threshold;
+            capacity_t = capacity;
+            mean_response_thr = Cluster_runner.mean_response r;
+            hits_thr = r.Cluster_runner.hits;
+            inserts_thr =
+              Metrics.Counter.get r.Cluster_runner.counters Server.K.inserts;
+            evictions_thr = r.Cluster_runner.store_stats.Cache.Stats.evictions;
+          })
+        thresholds)
+    capacities
+
+(* ------------------------------------------------------------------ *)
+(* A7 — protocol-message loss *)
+
+type loss_row = {
+  loss : float;
+  hits_l : int;
+  upper_l : int;
+  fetch_timeouts_l : int;
+  mean_response_loss : float;
+}
+
+let ablation_loss ?(seed = default_seed) ?(losses = [ 0.0; 0.05; 0.2; 0.5 ])
+    ?(nodes = 4) () =
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08 ()
+  in
+  let upper = Workload.Analyzer.upper_bound_hits trace in
+  List.map
+    (fun loss ->
+      let cfg =
+        Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+          ~net_loss:loss ~fetch_timeout:(Some 0.5) ~seed ()
+      in
+      let r = Cluster_runner.run cfg ~trace ~n_streams:16 () in
+      {
+        loss;
+        hits_l = r.Cluster_runner.hits;
+        upper_l = upper;
+        fetch_timeouts_l =
+          Metrics.Counter.get r.Cluster_runner.counters Server.K.fetch_timeouts;
+        mean_response_loss = Cluster_runner.mean_response r;
+      })
+    losses
+
+type consistency_row = {
+  latency : float;
+  false_hits : int;
+  false_miss_concurrent_c : int;
+  false_miss_duplicate_c : int;
+  hits_c : int;
+}
+
+let ablation_consistency ?(seed = default_seed)
+    ?(latencies = [ 0.0002; 0.005; 0.05; 0.5 ]) ?(nodes = 8) () =
+  (* Short executions (50 ms) make the inconsistency window latency-bound:
+     a peer stays ignorant of an insert for [latency] seconds, so higher
+     latency means more duplicate executions of the same hot query. *)
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08
+      ~demand:0.05 ()
+  in
+  List.map
+    (fun latency ->
+      (* A small cache keeps replacement active, so delete broadcasts race
+         with remote fetches — the false-hit window of §4.2. *)
+      let cfg =
+        Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+          ~broadcast_latency:(Some latency) ~cache_threshold:0.01
+          ~cache_capacity:40 ~seed ()
+      in
+      let r = Cluster_runner.run cfg ~trace ~n_streams:16 () in
+      let get = Metrics.Counter.get r.Cluster_runner.counters in
+      {
+        latency;
+        false_hits = get Server.K.false_hit;
+        false_miss_concurrent_c = get Server.K.false_miss_concurrent;
+        false_miss_duplicate_c = get Server.K.false_miss_duplicate;
+        hits_c = r.Cluster_runner.hits;
+      })
+    latencies

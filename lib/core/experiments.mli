@@ -1,0 +1,216 @@
+(** Drivers for every table and figure in the paper's evaluation (§3, §5),
+    plus the ablations called out in DESIGN.md. Each driver returns typed
+    rows; the bench harness renders them in the paper's layout and
+    EXPERIMENTS.md records paper-vs-measured.
+
+    All drivers are deterministic in [seed]. *)
+
+(** {1 E1 — Table 1: potential saving from CGI caching (§3)} *)
+
+val table1 :
+  ?seed:int ->
+  ?params:Workload.Synthetic.adl_params ->
+  ?thresholds:float list ->
+  unit ->
+  Workload.Analyzer.summary * Workload.Analyzer.row list
+
+(** {1 E2 — Table 2: file-fetch response time by server (§5.1)} *)
+
+type table2_row = {
+  clients : int;
+  httpd : float;
+  enterprise : float;
+  swala : float;
+}
+
+val table2 :
+  ?seed:int ->
+  ?clients:int list ->
+  ?requests_per_client:int ->
+  unit ->
+  table2_row list
+
+(** {1 E3 — Figure 3: null-CGI response time by configuration (§5.1)} *)
+
+type figure3 = {
+  enterprise_f3 : float;
+  httpd_f3 : float;
+  swala_no_cache : float;
+  swala_remote : float;
+  swala_local : float;
+}
+
+val figure3 :
+  ?seed:int -> ?clients:int -> ?requests_per_client:int -> unit -> figure3
+
+(** {1 E4 — Figure 4: multi-node response time, cache on/off (§5.2)} *)
+
+type figure4_row = {
+  nodes : int;
+  no_cache : float;  (** mean response, caching disabled *)
+  coop : float;  (** mean response, cooperative caching *)
+  speedup_no_cache : float;  (** single-node no-cache over this row *)
+  improvement : float;  (** (no_cache - coop) / no_cache *)
+}
+
+val figure4 :
+  ?seed:int -> ?node_counts:int list -> ?n_requests:int -> unit ->
+  figure4_row list
+
+(** {1 E5 — Table 3: insert + broadcast overhead (§5.2)} *)
+
+type table3_row = {
+  nodes_t3 : int;
+  no_cache_t3 : float;
+  coop_t3 : float;
+  increase_t3 : float;
+}
+
+val table3 :
+  ?seed:int -> ?node_counts:int list -> ?n_requests:int -> unit ->
+  table3_row list
+
+(** {1 E6 — Table 4: replicated-directory maintenance overhead (§5.2)} *)
+
+type table4_row = {
+  ups : int;  (** directory updates per second received *)
+  mean_response_t4 : float;
+  increase_t4 : float;  (** over the 0-UPS base case *)
+  updates_applied : int;
+}
+
+val table4 :
+  ?seed:int -> ?ups_list:int list -> ?n_requests:int -> unit -> table4_row list
+
+(** {1 E7/E8 — Tables 5-6: stand-alone vs cooperative hit counts (§5.3)} *)
+
+type hit_row = {
+  nodes_h : int;
+  standalone_hits : int;
+  coop_hits : int;
+  upper_bound : int;
+  standalone_pct : float;  (** of upper bound *)
+  coop_pct : float;
+  coop_false_misses : int;  (** concurrent + duplicate-insert false misses *)
+}
+
+(** [hit_ratio_table ~cache_size] runs the paper's 1600-request /
+    1122-unique workload at each node count. Table 5 is
+    [~cache_size:2000]; Table 6 is [~cache_size:20]. *)
+val hit_ratio_table :
+  ?seed:int ->
+  ?node_counts:int list ->
+  ?n:int ->
+  ?n_unique:int ->
+  cache_size:int ->
+  unit ->
+  hit_row list
+
+(** {1 A1 — ablation: replacement policies under overflow} *)
+
+type policy_row = {
+  policy : Cache.Policy.t;
+  hits_p : int;
+  upper_p : int;
+  mean_response_p : float;
+}
+
+val ablation_policy :
+  ?seed:int -> ?cache_size:int -> ?nodes:int -> unit -> policy_row list
+
+(** {1 A2 — ablation: directory locking granularity (§4.2's argument)} *)
+
+type locking_row = {
+  granularity : Cache.Directory.granularity;
+  mean_response_l : float;
+  rd_locks : int;
+  wr_locks : int;
+}
+
+val ablation_locking : ?seed:int -> ?nodes:int -> unit -> locking_row list
+
+(** {1 A3 — ablation: consistency anomalies vs network latency (§4.2)} *)
+
+type consistency_row = {
+  latency : float;
+  false_hits : int;
+  false_miss_concurrent_c : int;
+  false_miss_duplicate_c : int;
+  hits_c : int;
+}
+
+val ablation_consistency :
+  ?seed:int -> ?latencies:float list -> ?nodes:int -> unit ->
+  consistency_row list
+
+val granularity_name : Cache.Directory.granularity -> string
+
+(** {1 A4 — ablation: weak vs strong directory consistency (§4.2)} *)
+
+type protocol_row = {
+  latency_pr : float;  (** one-way network latency of the run *)
+  weak : float;  (** mean response under the paper's async protocol *)
+  strong : float;  (** mean response when every update waits for acks *)
+  penalty : float;  (** strong - weak, seconds per request *)
+}
+
+(** [ablation_protocol ()] runs the all-miss insertion workload under both
+    protocols across network latencies — measuring exactly the
+    synchronisation cost §4.2 declines to pay, and how it grows once the
+    cluster is no longer a single LAN. *)
+val ablation_protocol :
+  ?seed:int -> ?nodes:int -> ?latencies:float list -> ?n_requests:int ->
+  ?demand:float -> unit -> protocol_row list
+
+(** {1 A5 — ablation: request routing policy} *)
+
+type routing_row = {
+  routing : Router.policy;
+  mode_r : Config.cache_mode;
+  hits_r : int;
+  upper_r : int;
+  mean_response_r : float;
+}
+
+(** [ablation_routing ()] crosses routing policies with stand-alone vs
+    cooperative caching on the Table-5 workload: cache-affinity routing
+    recovers most of cooperation's hit-ratio benefit without any
+    inter-node protocol. *)
+val ablation_routing :
+  ?seed:int -> ?nodes:int -> ?cache_size:int -> unit -> routing_row list
+
+(** {1 A6 — ablation: caching threshold (§3's trade-off, end to end)} *)
+
+type threshold_row = {
+  threshold_t : float;
+  capacity_t : int;
+  mean_response_thr : float;
+  hits_thr : int;
+  inserts_thr : int;
+  evictions_thr : int;
+}
+
+(** [ablation_threshold ()] sweeps the runtime caching threshold at a
+    large and a small cache on the ADL-like replay: caching everything
+    thrashes a small cache, caching only the longest requests leaves
+    savings unrealised. *)
+val ablation_threshold :
+  ?seed:int -> ?thresholds:float list -> ?capacities:int list ->
+  ?n_requests:int -> unit -> threshold_row list
+
+(** {1 A7 — ablation: protocol-message loss (failure injection)} *)
+
+type loss_row = {
+  loss : float;  (** per-message drop probability *)
+  hits_l : int;
+  upper_l : int;
+  fetch_timeouts_l : int;
+  mean_response_loss : float;
+}
+
+(** [ablation_loss ()] injects message loss into the cooperative protocol
+    (directory updates and fetch traffic) with a fetch timeout as the
+    recovery mechanism: the cache degrades gracefully — requests always
+    complete, hits erode as replicas diverge. *)
+val ablation_loss :
+  ?seed:int -> ?losses:float list -> ?nodes:int -> unit -> loss_row list

@@ -1,0 +1,28 @@
+type t = { deps : (string, string list) Hashtbl.t }
+
+let create registry =
+  let deps = Hashtbl.create 32 in
+  List.iter
+    (fun (script : Cgi.Script.t) ->
+      List.iter
+        (fun source ->
+          let existing =
+            Option.value (Hashtbl.find_opt deps source) ~default:[]
+          in
+          if not (List.mem script.Cgi.Script.name existing) then
+            Hashtbl.replace deps source (script.Cgi.Script.name :: existing))
+        script.Cgi.Script.sources)
+    (Cgi.Registry.scripts registry);
+  { deps }
+
+let watched t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.deps [] |> List.sort String.compare
+
+let scripts_for t path =
+  Option.value (Hashtbl.find_opt t.deps path) ~default:[]
+  |> List.sort String.compare
+
+let on_change t cluster path =
+  List.fold_left
+    (fun acc script -> acc + Server.invalidate_script cluster ~script)
+    0 (scripts_for t path)

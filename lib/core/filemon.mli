@@ -1,0 +1,26 @@
+(** Source-file monitoring invalidation.
+
+    The paper's related-work section describes Vahdat & Anderson's
+    transparent result caching: monitor the files a CGI program reads and
+    invalidate its cached results whenever a source changes; §4.2 lists
+    adopting it as future work. This module is that mechanism: scripts
+    declare their inputs ([Cgi.Script.sources]), {!create} indexes the
+    dependency graph, and {!on_change} turns one file-modification event
+    into cluster-wide invalidation of every dependent cached result. *)
+
+type t
+
+(** [create registry] indexes every registered script's source files. *)
+val create : Cgi.Registry.t -> t
+
+(** [watched t] lists the monitored files, sorted. *)
+val watched : t -> string list
+
+(** [scripts_for t path] lists the scripts that read [path], sorted. *)
+val scripts_for : t -> string -> string list
+
+(** [on_change t cluster path] invalidates all cached results of every
+    script depending on [path]; returns the number of cache entries
+    dropped cluster-wide. Must run inside a simulated process. Unknown
+    paths invalidate nothing. *)
+val on_change : t -> Server.cluster -> string -> int

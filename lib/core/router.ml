@@ -1,0 +1,45 @@
+type policy = Per_stream | Round_robin | Least_active | Key_affinity
+
+let policy_name = function
+  | Per_stream -> "per-stream"
+  | Round_robin -> "round-robin"
+  | Least_active -> "least-active"
+  | Key_affinity -> "key-affinity"
+
+let all_policies = [ Per_stream; Round_robin; Least_active; Key_affinity ]
+
+type t = { policy : policy; mutable next : int }
+
+let create policy = { policy; next = 0 }
+
+(* FNV-1a (32-bit) over the canonical cache key: stable across runs, which
+   Hashtbl.hash is not guaranteed to be. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let pick t cluster ~stream req =
+  let n = Server.n_nodes cluster in
+  match t.policy with
+  | Per_stream -> stream mod n
+  | Round_robin ->
+      let node = t.next mod n in
+      t.next <- t.next + 1;
+      node
+  | Least_active ->
+      let best = ref 0 in
+      let best_load = ref max_int in
+      for i = 0 to n - 1 do
+        let load = Server.node_active (Server.node cluster i) in
+        if load < !best_load then begin
+          best := i;
+          best_load := load
+        end
+      done;
+      !best
+  | Key_affinity -> fnv1a (Http.Request.cache_key req) mod n

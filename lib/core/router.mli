@@ -1,0 +1,25 @@
+(** Front-end request routing.
+
+    The paper drives each client thread at a fixed server node (its SWEB
+    companion work studies scheduling proper). This module adds a
+    dispatcher abstraction so routing strategy becomes an experimental
+    variable: cache-affinity routing in particular sends every repeat of a
+    request to the same node, which recovers most of cooperative caching's
+    benefit even for stand-alone caches (ablation A4). *)
+
+type policy =
+  | Per_stream  (** stream [i] pinned to node [i mod n] — the paper's setup *)
+  | Round_robin  (** rotate per request *)
+  | Least_active  (** node with the fewest in-flight requests *)
+  | Key_affinity  (** hash of the request's cache key; repeats co-locate *)
+
+val policy_name : policy -> string
+val all_policies : policy list
+
+type t
+
+val create : policy -> t
+
+(** [pick t cluster ~stream req] chooses the target node. Deterministic
+    for every policy ([Least_active] ties break on the lowest node id). *)
+val pick : t -> Server.cluster -> stream:int -> Http.Request.t -> int

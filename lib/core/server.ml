@@ -1,0 +1,571 @@
+module K = struct
+  let requests = "requests"
+  let file_fetches = "file_fetches"
+  let cgi_execs = "cgi_execs"
+  let hit_local = "hit_local"
+  let hit_remote = "hit_remote"
+  let uncacheable = "uncacheable"
+  let false_hit = "false_hit"
+  let false_miss_concurrent = "false_miss_concurrent"
+  let false_miss_duplicate = "false_miss_duplicate"
+  let inserts = "inserts"
+  let below_threshold = "below_threshold"
+  let broadcast_insert = "broadcast_insert"
+  let broadcast_delete = "broadcast_delete"
+  let info_applied = "info_applied"
+  let purged = "purged"
+  let not_found = "not_found"
+  let cgi_failures = "cgi_failures"
+  let dir_stale_self = "dir_stale_self"
+  let invalidations = "invalidations"
+  let acks_sent = "acks_sent"
+  let fetch_timeouts = "fetch_timeouts"
+end
+
+type env = {
+  req : Http.Request.t;
+  client : int;
+  resume : Http.Response.t Sim.Engine.resumer;
+}
+
+type t = {
+  id : int;
+  cpu : Sim.Cpu.t;
+  disk : Sim.Disk.t;
+  rng : Sim.Rng.t;
+  listen : env Sim.Mailbox.t;
+  endpoint : Cluster.Endpoint.t;
+  store : Cache.Store.t;
+  dir : Cache.Directory.t;  (* this node's replica of the global directory *)
+  counters : Metrics.Counter.t;
+  in_flight : (string, int) Hashtbl.t;  (* CGI keys being executed *)
+  mutable active : int;  (* requests currently being handled *)
+  mutable stop : bool;
+}
+
+type cluster = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  cfg : Config.t;
+  registry : Cgi.Registry.t;
+  nodes : t array;
+  endpoints : Cluster.Endpoint.t array;
+}
+
+let engine c = c.engine
+let net c = c.net
+let config c = c.cfg
+let n_nodes c = Array.length c.nodes
+
+let node c i =
+  if i < 0 || i >= Array.length c.nodes then invalid_arg "Server.node: range";
+  c.nodes.(i)
+
+let node_counters nd = nd.counters
+let node_store nd = nd.store
+let node_directory nd = nd.dir
+let node_cpu nd = nd.cpu
+let node_info_mailbox nd = nd.endpoint.Cluster.Endpoint.info_mb
+
+let merged_counters c =
+  Array.fold_left
+    (fun acc nd -> Metrics.Counter.merge acc nd.counters)
+    (Metrics.Counter.create ()) c.nodes
+
+let total_hits c =
+  let m = merged_counters c in
+  Metrics.Counter.get m K.hit_local + Metrics.Counter.get m K.hit_remote
+
+let create_cluster engine cfg ~registry ~n_client_endpoints =
+  Config.validate cfg;
+  let root = Sim.Rng.create cfg.Config.seed in
+  let net =
+    Sim.Net.create ~latency:cfg.Config.net_latency
+      ~bandwidth:cfg.Config.net_bandwidth ~loss:cfg.Config.net_loss
+      ~rng:(Sim.Rng.split root) engine
+      ~n_endpoints:(cfg.Config.n_nodes + n_client_endpoints)
+  in
+  let nodes =
+    Array.init cfg.Config.n_nodes (fun id ->
+        let rng = Sim.Rng.split root in
+        let clock () = Sim.Engine.current_time engine in
+        let cpu =
+          Sim.Cpu.create ~speed:cfg.Config.cpu_speed engine
+            ~cores:cfg.Config.cores_per_node
+        in
+        {
+          id;
+          cpu;
+          disk = Sim.Disk.create engine;
+          rng;
+          listen = Sim.Mailbox.create ();
+          endpoint = Cluster.Endpoint.make ~node:id;
+          store =
+            Cache.Store.create ~capacity:cfg.Config.cache_capacity
+              ~policy:cfg.Config.policy ~clock ~rng:(Sim.Rng.split root) ();
+          dir =
+            (* Directory lock and scan work burns this node's CPU, so it
+               contends with request processing. *)
+            Cache.Directory.create ~granularity:cfg.Config.dir_granularity
+              ~lock_overhead:cfg.Config.dir_lock_overhead
+              ~scan_cost:cfg.Config.dir_scan_cost
+              ~charge:(fun s -> Sim.Cpu.consume cpu s)
+              ~nodes:cfg.Config.n_nodes ();
+          counters = Metrics.Counter.create ();
+          in_flight = Hashtbl.create 64;
+          active = 0;
+          stop = false;
+        })
+  in
+  let endpoints = Array.map (fun nd -> nd.endpoint) nodes in
+  { engine; net; cfg; registry; nodes; endpoints }
+
+(* ------------------------------------------------------------------ *)
+(* Response helpers *)
+
+(* Static files are served with an empty in-memory body but a declared
+   Content-Length; the transfer charge uses the declared size. *)
+let file_response bytes =
+  Http.Response.make
+    ~headers:
+      (Http.Headers.of_list
+         [
+           ("Content-Type", "text/html");
+           ("Content-Length", string_of_int bytes);
+         ])
+    Http.Status.Ok
+
+let transfer_bytes resp =
+  let declared =
+    match Http.Headers.content_length resp.Http.Response.headers with
+    | Some n -> Stdlib.max n (Http.Response.body_size resp)
+    | None -> Http.Response.body_size resp
+  in
+  Http.Response.wire_size resp - Http.Response.body_size resp + declared
+
+let respond c nd env resp =
+  Sim.Net.transfer c.net ~src:nd.id ~dst:env.client
+    ~bytes:(transfer_bytes resp);
+  env.resume resp
+
+(* ------------------------------------------------------------------ *)
+(* Cache operations *)
+
+let now () = Sim.Engine.now ()
+let incr nd k = Metrics.Counter.incr nd.counters k
+
+(* Per-request cache treatment after composing the administrator rules
+   (§4.1's configuration file) with script flags and server defaults. *)
+type cache_ctl = { attempt : bool; ttl : float option; threshold : float }
+
+let cache_ctl_for c (script : Cgi.Script.t) meth =
+  let rule = Rules.decide c.cfg.Config.rules script.Cgi.Script.name in
+  let attempt =
+    script.Cgi.Script.cacheable && rule.Rules.cacheable
+    && Http.Meth.equal meth Http.Meth.Get
+    && c.cfg.Config.cache_mode <> Config.Disabled
+  in
+  let ttl =
+    match (rule.Rules.ttl, script.Cgi.Script.ttl) with
+    | (Some _ as t), _ -> t
+    | None, (Some _ as t) -> t
+    | None, None -> c.cfg.Config.default_ttl
+  in
+  let threshold =
+    Option.value rule.Rules.threshold ~default:c.cfg.Config.cache_threshold
+  in
+  { attempt; ttl; threshold }
+
+(* Insert a freshly computed result: local store + local directory replica;
+   returns the broadcast messages to send after the client is answered
+   (Figure 2 broadcasts after returning the result). *)
+let insert_result c nd ~key ~body ~exec_time ttl =
+  Sim.Cpu.consume nd.cpu c.cfg.Config.insert_cost;
+  let created = now () in
+  let meta =
+    Cache.Meta.make ~key ~owner:nd.id ~size:(String.length body) ~exec_time
+      ~created
+      ~expires:(Option.map (fun t -> created +. t) ttl)
+  in
+  let broadcasts = ref [] in
+  (match c.cfg.Config.cache_mode with
+  | Config.Cooperative ->
+      (* Weak consistency: a peer may have cached the same request while we
+         executed it — the second kind of false miss (§4.2). *)
+      (match Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:created key with
+      | Some m when m.Cache.Meta.owner <> nd.id ->
+          incr nd K.false_miss_duplicate
+      | Some _ | None -> ());
+      let evicted = Cache.Store.insert nd.store meta body in
+      Cache.Directory.insert nd.dir ~node:nd.id meta;
+      List.iter
+        (fun (m : Cache.Meta.t) ->
+          ignore
+            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+          broadcasts :=
+            Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key }
+            :: !broadcasts)
+        evicted;
+      broadcasts := Cluster.Msg.Insert meta :: !broadcasts
+  | Config.Standalone -> ignore (Cache.Store.insert nd.store meta body : Cache.Meta.t list)
+  | Config.Disabled -> ());
+  incr nd K.inserts;
+  List.rev !broadcasts
+
+let send_broadcasts c nd msgs =
+  List.iter
+    (fun msg ->
+      (match msg with
+      | Cluster.Msg.Insert _ -> incr nd K.broadcast_insert
+      | Cluster.Msg.Delete _ -> incr nd K.broadcast_delete);
+      match (c.cfg.Config.consistency, c.cfg.Config.broadcast_latency) with
+      | Config.Strong, _ ->
+          (* Block until every replica has applied the update. *)
+          ignore
+            (Cluster.Broadcast.info_sync c.net c.endpoints ~src:nd.id msg : int)
+      | Config.Weak, None ->
+          ignore (Cluster.Broadcast.info c.net c.endpoints ~src:nd.id msg : int)
+      | Config.Weak, Some delay ->
+          (* Ablation knob: deliver directory updates after a fixed delay,
+             bypassing the network model, to widen or narrow the weak-
+             consistency window in isolation. *)
+          Array.iter
+            (fun (ep : Cluster.Endpoint.t) ->
+              if ep.Cluster.Endpoint.node <> nd.id then
+                ignore
+                  (Sim.Engine.schedule_after c.engine delay (fun () ->
+                       Sim.Mailbox.send ep.Cluster.Endpoint.info_mb
+                         { Cluster.Msg.info = msg; ack = None })
+                    : Sim.Engine.handle))
+            c.endpoints)
+    msgs
+
+(* ------------------------------------------------------------------ *)
+(* CGI execution (Figure 2's "Exec CGI, tee results to file") *)
+
+let exec_cgi c nd (script : Cgi.Script.t) req key =
+  (match Hashtbl.find_opt nd.in_flight key with
+  | Some n when n > 0 ->
+      (* First kind of false miss: an identical request is already being
+         executed on this node and we run it again anyway (§4.2). *)
+      incr nd K.false_miss_concurrent;
+      Hashtbl.replace nd.in_flight key (n + 1)
+  | Some _ | None -> Hashtbl.replace nd.in_flight key 1);
+  incr nd K.cgi_execs;
+  let query = req.Http.Request.uri.Http.Uri.query in
+  let demand = Cgi.Cost.demand_for script.Cgi.Script.cost nd.rng ~query in
+  let out_bytes = Cgi.Cost.output_bytes_for script.Cgi.Script.cost ~query in
+  Sim.Cpu.consume nd.cpu
+    ((script.Cgi.Script.cost.Cgi.Cost.fork_exec
+     *. c.cfg.Config.model.Config.cgi_overhead_factor)
+    +. demand);
+  (match Hashtbl.find_opt nd.in_flight key with
+  | Some 1 -> Hashtbl.remove nd.in_flight key
+  | Some n -> Hashtbl.replace nd.in_flight key (n - 1)
+  | None -> ());
+  let failed =
+    script.Cgi.Script.failure_rate > 0.
+    && Sim.Rng.float nd.rng < script.Cgi.Script.failure_rate
+  in
+  if failed then begin
+    incr nd K.cgi_failures;
+    Error (Http.Response.error Http.Status.Internal_server_error "CGI failed")
+  end
+  else
+    let body = Cgi.Script.output_sized script ~key ~bytes:out_bytes in
+    Ok (body, demand)
+
+(* Execute, optionally insert in the cache, respond, then broadcast. *)
+let exec_and_respond c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) =
+  match exec_cgi c nd script env.req key with
+  | Error resp -> respond c nd env resp
+  | Ok (body, exec_time) ->
+      let broadcasts =
+        if ctl.attempt && exec_time >= ctl.threshold then
+          insert_result c nd ~key ~body ~exec_time ctl.ttl
+        else begin
+          if ctl.attempt then incr nd K.below_threshold;
+          []
+        end
+      in
+      Sim.Cpu.consume nd.cpu
+        (c.cfg.Config.model.Config.per_byte_send
+        *. float_of_int (String.length body));
+      (* Figure 2 answers the client before broadcasting; under the strong
+         protocol the whole point is that the reply implies every replica
+         already knows, so the order flips. *)
+      (match c.cfg.Config.consistency with
+      | Config.Weak ->
+          respond c nd env (Http.Response.ok body);
+          send_broadcasts c nd broadcasts
+      | Config.Strong ->
+          send_broadcasts c nd broadcasts;
+          respond c nd env (Http.Response.ok body))
+
+(* ------------------------------------------------------------------ *)
+(* Cache hit paths *)
+
+let serve_local c nd env (entry : Cache.Store.entry) =
+  incr nd K.hit_local;
+  Sim.Cpu.consume nd.cpu c.cfg.Config.local_fetch_cost;
+  (* The result file is recently used, hence in the OS buffer cache. *)
+  Sim.Disk.read nd.disk ~bytes:entry.Cache.Store.meta.Cache.Meta.size
+    ~cached:true;
+  Sim.Cpu.consume nd.cpu
+    (c.cfg.Config.model.Config.per_byte_send
+    *. float_of_int (String.length entry.Cache.Store.body));
+  respond c nd env (Http.Response.ok entry.Cache.Store.body)
+
+let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
+    (meta : Cache.Meta.t) =
+  Sim.Cpu.consume nd.cpu c.cfg.Config.remote_fetch_cost;
+  let reply = Sim.Mailbox.create () in
+  Cluster.Broadcast.fetch c.net c.endpoints ~src:nd.id
+    ~owner:meta.Cache.Meta.owner
+    { Cluster.Msg.key; requester = nd.id; reply };
+  let answer =
+    match c.cfg.Config.fetch_timeout with
+    | None -> Some (Sim.Mailbox.recv reply)
+    | Some timeout -> Sim.Mailbox.recv_timeout reply ~timeout
+  in
+  match answer with
+  | None ->
+      (* Request or reply lost (or owner unreachable): give up on the
+         remote copy and execute locally, like a false hit. *)
+      incr nd K.fetch_timeouts;
+      exec_and_respond c nd env script key ~ctl
+  | Some (Cluster.Msg.Hit { body; _ }) ->
+      incr nd K.hit_remote;
+      Sim.Cpu.consume nd.cpu
+        (c.cfg.Config.model.Config.per_byte_send
+        *. float_of_int (String.length body));
+      respond c nd env (Http.Response.ok body)
+  | Some (Cluster.Msg.Miss _) ->
+      (* False hit: the entry vanished at the owner after our directory
+         lookup. Execute locally, as in Figure 2. *)
+      incr nd K.false_hit;
+      exec_and_respond c nd env script key ~ctl
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 control flow *)
+
+let handle_cgi c nd env (script : Cgi.Script.t) =
+  let key = Http.Request.cache_key env.req in
+  let ctl = cache_ctl_for c script env.req.Http.Request.meth in
+  if not ctl.attempt then begin
+    incr nd K.uncacheable;
+    exec_and_respond c nd env script key ~ctl
+  end
+  else
+    match c.cfg.Config.cache_mode with
+    | Config.Disabled -> assert false
+    | Config.Standalone -> (
+        match Cache.Store.lookup nd.store key with
+        | Some entry -> serve_local c nd env entry
+        | None -> exec_and_respond c nd env script key ~ctl)
+    | Config.Cooperative -> (
+        match Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:(now ()) key with
+        | None -> exec_and_respond c nd env script key ~ctl
+        | Some meta when meta.Cache.Meta.owner = nd.id -> (
+            match Cache.Store.lookup nd.store key with
+            | Some entry -> serve_local c nd env entry
+            | None ->
+                (* Directory said we own it but the store dropped it
+                   (expiry race); repair and execute. *)
+                incr nd K.dir_stale_self;
+                ignore (Cache.Directory.delete nd.dir ~node:nd.id key : bool);
+                exec_and_respond c nd env script key ~ctl)
+        | Some meta -> fetch_remote c nd env script key ~ctl meta)
+
+let handle c nd env =
+  incr nd K.requests;
+  let active_at_arrival = nd.active in
+  nd.active <- nd.active + 1;
+  let model = c.cfg.Config.model in
+  Sim.Cpu.consume nd.cpu
+    (model.Config.accept_cost +. model.Config.per_request_fork
+    +. (model.Config.contention_coeff *. float_of_int active_at_arrival));
+  (match Cgi.Registry.resolve c.registry env.req.Http.Request.uri.Http.Uri.path with
+  | None ->
+      incr nd K.not_found;
+      respond c nd env
+        (Http.Response.error Http.Status.Not_found
+           env.req.Http.Request.uri.Http.Uri.path)
+  | Some (Cgi.Registry.Static_file { bytes; _ }) ->
+      incr nd K.file_fetches;
+      let cached = Sim.Rng.float nd.rng < c.cfg.Config.fs_cache_hit in
+      Sim.Disk.read nd.disk ~bytes ~cached;
+      Sim.Cpu.consume nd.cpu
+        (model.Config.per_byte_send *. float_of_int bytes);
+      respond c nd env (file_response bytes)
+  | Some (Cgi.Registry.Cgi_script script) -> handle_cgi c nd env script);
+  nd.active <- nd.active - 1
+
+(* ------------------------------------------------------------------ *)
+(* Daemons (the cacher module's three threads, §4.1) *)
+
+let request_thread c nd =
+  let rec loop () =
+    let env = Sim.Mailbox.recv nd.listen in
+    handle c nd env;
+    loop ()
+  in
+  loop ()
+
+let info_daemon c nd =
+  let rec loop () =
+    let envelope = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.info_mb in
+    Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
+    incr nd K.info_applied;
+    (match envelope.Cluster.Msg.info with
+    | Cluster.Msg.Insert meta ->
+        Cache.Directory.insert nd.dir ~node:meta.Cache.Meta.owner meta
+    | Cluster.Msg.Delete { node; key } ->
+        ignore (Cache.Directory.delete nd.dir ~node key : bool));
+    (match envelope.Cluster.Msg.ack with
+    | Some (sender, ack) ->
+        incr nd K.acks_sent;
+        Sim.Net.send c.net ~src:nd.id ~dst:sender ~bytes:32 ack ()
+    | None -> ());
+    loop ()
+  in
+  loop ()
+
+let data_server c nd =
+  let rec loop () =
+    let fetch = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.data_mb in
+    (* One thread per fetch, as in §4.1. *)
+    Sim.Engine.spawn_child (fun () ->
+        Sim.Cpu.consume nd.cpu c.cfg.Config.data_server_cost;
+        let reply_msg =
+          match Cache.Store.lookup nd.store fetch.Cluster.Msg.key with
+          | Some entry ->
+              Sim.Disk.read nd.disk
+                ~bytes:entry.Cache.Store.meta.Cache.Meta.size ~cached:true;
+              Cluster.Msg.Hit
+                { meta = entry.Cache.Store.meta; body = entry.Cache.Store.body }
+          | None -> Cluster.Msg.Miss { key = fetch.Cluster.Msg.key }
+        in
+        Sim.Net.send c.net ~src:nd.id ~dst:fetch.Cluster.Msg.requester
+          ~bytes:(Cluster.Msg.fetch_reply_bytes reply_msg)
+          fetch.Cluster.Msg.reply reply_msg);
+    loop ()
+  in
+  loop ()
+
+let purge_daemon c nd =
+  let rec loop () =
+    if not nd.stop then begin
+      Sim.Engine.delay c.cfg.Config.purge_interval;
+      let expired = Cache.Store.purge_expired nd.store in
+      List.iter
+        (fun (m : Cache.Meta.t) ->
+          incr nd K.purged;
+          ignore
+            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+          if c.cfg.Config.cache_mode = Config.Cooperative then begin
+            incr nd K.broadcast_delete;
+            ignore
+              (Cluster.Broadcast.info c.net c.endpoints ~src:nd.id
+                 (Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key })
+                : int)
+          end)
+        expired;
+      loop ()
+    end
+  in
+  loop ()
+
+let start c =
+  Array.iter
+    (fun nd ->
+      for _ = 1 to c.cfg.Config.threads_per_node do
+        Sim.Engine.spawn c.engine (fun () -> request_thread c nd)
+      done;
+      match c.cfg.Config.cache_mode with
+      | Config.Disabled -> ()
+      | Config.Standalone ->
+          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd)
+      | Config.Cooperative ->
+          Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
+          Sim.Engine.spawn c.engine (fun () -> data_server c nd);
+          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd))
+    c.nodes
+
+let stop c = Array.iter (fun nd -> nd.stop <- true) c.nodes
+
+let submit c ~client ~node req =
+  if node < 0 || node >= Array.length c.nodes then
+    invalid_arg "Server.submit: node out of range";
+  let nd = c.nodes.(node) in
+  Sim.Net.transfer c.net ~src:client ~dst:node
+    ~bytes:(Http.Request.wire_size req);
+  Sim.Engine.suspend (fun resume ->
+      Sim.Mailbox.send nd.listen { req; client; resume })
+
+let submit_wire c ~client ~node bytes =
+  match Http.Request.parse bytes with
+  | Error e ->
+      Http.Response.to_wire (Http.Response.error Http.Status.Bad_request e)
+  | Ok req -> Http.Response.to_wire (submit c ~client ~node req)
+
+let preload c ~node req ~exec_time =
+  if node < 0 || node >= Array.length c.nodes then
+    invalid_arg "Server.preload: node out of range";
+  let nd = c.nodes.(node) in
+  let key = Http.Request.cache_key req in
+  match Cgi.Registry.resolve c.registry req.Http.Request.uri.Http.Uri.path with
+  | Some (Cgi.Registry.Cgi_script script) ->
+      let out_bytes =
+        Cgi.Cost.output_bytes_for script.Cgi.Script.cost
+          ~query:req.Http.Request.uri.Http.Uri.query
+      in
+      let body = Cgi.Script.output_sized script ~key ~bytes:out_bytes in
+      let ctl = cache_ctl_for c script Http.Meth.Get in
+      let msgs = insert_result c nd ~key ~body ~exec_time ctl.ttl in
+      send_broadcasts c nd msgs
+  | Some (Cgi.Registry.Static_file _) | None ->
+      invalid_arg "Server.preload: request does not resolve to a CGI script"
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation (the paper's §4.2 future work: application-driven
+   invalidation messages and source-monitoring invalidation) *)
+
+let delete_everywhere c pred =
+  let removed = ref 0 in
+  Array.iter
+    (fun nd ->
+      let victims = Cache.Store.remove_matching nd.store pred in
+      List.iter
+        (fun (m : Cache.Meta.t) ->
+          incr nd K.invalidations;
+          removed := !removed + 1;
+          ignore
+            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+          if c.cfg.Config.cache_mode = Config.Cooperative then
+            send_broadcasts c nd
+              [ Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key } ])
+        victims)
+    c.nodes;
+  !removed
+
+let invalidate c ~key = delete_everywhere c (String.equal key)
+
+let invalidate_script c ~script =
+  (* Cache keys are "METHOD /script?args"; match on the script path
+     component so every argument combination is dropped. *)
+  let pred key =
+    match String.index_opt key ' ' with
+    | None -> false
+    | Some i ->
+        let rest = String.sub key (i + 1) (String.length key - i - 1) in
+        let path =
+          match String.index_opt rest '?' with
+          | None -> rest
+          | Some j -> String.sub rest 0 j
+        in
+        String.equal path script
+  in
+  delete_everywhere c pred
+
+let node_active nd = nd.active

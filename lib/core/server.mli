@@ -1,0 +1,124 @@
+(** The Swala distributed web server (paper §4).
+
+    A {!cluster} is a group of simulated server nodes sharing a network and
+    a script/file registry. Each node runs, as simulated threads:
+
+    - the {b HTTP module}: a pool of request threads taking turns on the
+      node's listen mailbox, each owning a request from parse to completion
+      (Figure 2's control flow);
+    - the {b cacher module}: an info receiver applying broadcast directory
+      updates, a data server answering remote fetches (one thread spawned
+      per fetch), and a purge thread deleting expired entries.
+
+    The same machinery runs the baselines: [Config.cache_mode = Disabled]
+    is the no-cache server, [Standalone] caches without any inter-node
+    cooperation, and the [Config.server_model] cost profiles turn the node
+    into the HTTPd-like or Enterprise-like comparison server. *)
+
+type t
+(** One server node. *)
+
+type cluster
+
+(** [create_cluster engine cfg ~registry ~n_client_endpoints] builds the
+    nodes, network (endpoints [0 .. n_nodes-1] are nodes, the rest client
+    endpoints) and per-node state. Call {!start} before submitting. *)
+val create_cluster :
+  Sim.Engine.t ->
+  Config.t ->
+  registry:Cgi.Registry.t ->
+  n_client_endpoints:int ->
+  cluster
+
+(** [start cluster] spawns every node's request threads and daemons. *)
+val start : cluster -> unit
+
+(** [stop cluster] signals purge daemons to exit so the simulation can
+    drain; idempotent. *)
+val stop : cluster -> unit
+
+(** [submit cluster ~client ~node req] sends [req] from client endpoint
+    [client] to [node] and blocks until the response returns, including
+    both network transfers. Must run inside a simulated process. *)
+val submit :
+  cluster -> client:int -> node:int -> Http.Request.t -> Http.Response.t
+
+(** [submit_wire cluster ~client ~node bytes] is {!submit} at the wire
+    level: parses [bytes] as an HTTP/1.0 request and returns the serialised
+    response. A malformed request yields a [400] without touching the
+    node. This is the path a real socket front-end would use. *)
+val submit_wire : cluster -> client:int -> node:int -> string -> string
+
+(** [preload cluster ~node req ~exec_time] warms [node]'s cache with the
+    result of [req] as if it had been executed and inserted (directory
+    update broadcast included). Must run inside a simulated process. *)
+val preload : cluster -> node:int -> Http.Request.t -> exec_time:float -> unit
+
+(** {1 Invalidation}
+
+    The paper's TTL scheme suits read-mostly sites; for stronger content
+    consistency it proposes (as future work) receiving invalidation
+    messages from applications and monitoring CGI input files. These are
+    those hooks. Both must run inside a simulated process; deletions are
+    broadcast to peers like any other delete. *)
+
+(** [invalidate cluster ~key] drops one cached result (by canonical cache
+    key) from every node holding it; returns how many copies existed. *)
+val invalidate : cluster -> key:string -> int
+
+(** [invalidate_script cluster ~script] drops every cached result of a
+    CGI program (all argument combinations); returns the count. Used by
+    {!Filemon} when one of the program's source files changes. *)
+val invalidate_script : cluster -> script:string -> int
+
+(** [node_active nd] is the number of requests the node is currently
+    handling (used by load-aware request routing). *)
+val node_active : t -> int
+
+val engine : cluster -> Sim.Engine.t
+val net : cluster -> Sim.Net.t
+val config : cluster -> Config.t
+val n_nodes : cluster -> int
+val node : cluster -> int -> t
+
+(** {1 Introspection} *)
+
+val node_counters : t -> Metrics.Counter.t
+val node_store : t -> Cache.Store.t
+val node_directory : t -> Cache.Directory.t
+val node_cpu : t -> Sim.Cpu.t
+
+(** [node_info_mailbox nd] is the mailbox the node's info receiver consumes;
+    exposed so the Table-4 pseudo-server can inject directory updates. *)
+val node_info_mailbox : t -> Cluster.Msg.info_envelope Sim.Mailbox.t
+
+(** [merged_counters cluster] sums all nodes' counters. *)
+val merged_counters : cluster -> Metrics.Counter.t
+
+(** [total_hits cluster] is local + remote cache hits served to clients. *)
+val total_hits : cluster -> int
+
+(** Counter names (see the per-name docs in the implementation). *)
+module K : sig
+  val requests : string
+  val file_fetches : string
+  val cgi_execs : string
+  val hit_local : string
+  val hit_remote : string
+  val uncacheable : string
+  val false_hit : string
+  val false_miss_concurrent : string
+  val false_miss_duplicate : string
+  val inserts : string
+  val below_threshold : string
+  val broadcast_insert : string
+  val broadcast_delete : string
+  val info_applied : string
+  val purged : string
+  val not_found : string
+  val cgi_failures : string
+  val dir_stale_self : string
+  val invalidations : string
+  val acks_sent : string
+  val fetch_timeouts : string
+end

@@ -1,0 +1,16 @@
+type t = Get | Head | Post
+
+let to_string = function Get -> "GET" | Head -> "HEAD" | Post -> "POST"
+
+let of_string = function
+  | "GET" -> Ok Get
+  | "HEAD" -> Ok Head
+  | "POST" -> Ok Post
+  | other -> Error (Printf.sprintf "unsupported method %S" other)
+
+let equal a b =
+  match (a, b) with
+  | Get, Get | Head, Head | Post, Post -> true
+  | (Get | Head | Post), _ -> false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,83 @@
+type t = {
+  meth : Meth.t;
+  uri : Uri.t;
+  version : string;
+  headers : Headers.t;
+  body : string;
+}
+
+let make ?(headers = Headers.empty) ?(body = "") meth target =
+  match Uri.parse target with
+  | Ok uri -> { meth; uri; version = "HTTP/1.0"; headers; body }
+  | Error e -> invalid_arg ("Request.make: " ^ e)
+
+let get target = make Meth.Get target
+
+let split_head = Wire.split_head
+let parse_header_line = Wire.parse_header_line
+
+let parse s =
+  match split_head s with
+  | [], _ -> Error "empty request"
+  | request_line :: header_lines, body_off -> (
+      match String.split_on_char ' ' request_line with
+      | [ m; target; version ] -> (
+          match Meth.of_string m with
+          | Error e -> Error e
+          | Ok meth -> (
+              match Uri.parse target with
+              | Error e -> Error e
+              | Ok uri ->
+                  let rec headers acc = function
+                    | [] -> Ok (Headers.of_list (List.rev acc))
+                    | line :: rest -> (
+                        match parse_header_line line with
+                        | Ok kv -> headers (kv :: acc) rest
+                        | Error e -> Error e)
+                  in
+                  (match headers [] header_lines with
+                  | Error e -> Error e
+                  | Ok hs ->
+                      let avail = String.length s - body_off in
+                      let want =
+                        match Headers.content_length hs with
+                        | Some n -> Stdlib.min n avail
+                        | None -> avail
+                      in
+                      let body = String.sub s body_off (Stdlib.max 0 want) in
+                      Ok { meth; uri; version; headers = hs; body })))
+      | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let to_wire t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Meth.to_string t.meth);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Uri.to_string t.uri);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf t.version;
+  Buffer.add_string buf "\r\n";
+  let headers =
+    if String.length t.body > 0 && not (Headers.mem t.headers "Content-Length")
+    then
+      Headers.replace t.headers "Content-Length"
+        (string_of_int (String.length t.body))
+    else t.headers
+  in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf v;
+      Buffer.add_string buf "\r\n")
+    (Headers.to_list headers);
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf t.body;
+  Buffer.contents buf
+
+let cache_key t =
+  Meth.to_string t.meth ^ " " ^ Uri.to_string (Uri.canonical t.uri)
+
+let wire_size t = String.length (to_wire t)
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a %s" Meth.pp t.meth Uri.pp t.uri t.version

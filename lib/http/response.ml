@@ -1,0 +1,88 @@
+type t = {
+  status : Status.t;
+  version : string;
+  headers : Headers.t;
+  body : string;
+}
+
+let make ?(headers = Headers.empty) ?(body = "") status =
+  { status; version = "HTTP/1.0"; headers; body }
+
+let ok body =
+  make ~headers:(Headers.add Headers.empty "Content-Type" "text/html") ~body
+    Status.Ok
+
+let error status message =
+  let body =
+    Printf.sprintf "<html><body><h1>%d %s</h1><p>%s</p></body></html>"
+      (Status.code status) (Status.reason status) message
+  in
+  make ~headers:(Headers.add Headers.empty "Content-Type" "text/html") ~body
+    status
+
+let split_head = Wire.split_head
+let parse_header_line = Wire.parse_header_line
+
+let parse s =
+  match split_head s with
+  | [], _ -> Error "empty response"
+  | status_line :: header_lines, body_off -> (
+      match String.split_on_char ' ' status_line with
+      | version :: code :: _reason -> (
+          match int_of_string_opt code with
+          | None -> Error (Printf.sprintf "bad status code %S" code)
+          | Some n -> (
+              match Status.of_code n with
+              | Error e -> Error e
+              | Ok status ->
+                  let rec headers acc = function
+                    | [] -> Ok (Headers.of_list (List.rev acc))
+                    | line :: rest -> (
+                        match parse_header_line line with
+                        | Ok kv -> headers (kv :: acc) rest
+                        | Error e -> Error e)
+                  in
+                  (match headers [] header_lines with
+                  | Error e -> Error e
+                  | Ok hs ->
+                      let avail = String.length s - body_off in
+                      let want =
+                        match Headers.content_length hs with
+                        | Some n -> Stdlib.min n avail
+                        | None -> avail
+                      in
+                      let body = String.sub s body_off (Stdlib.max 0 want) in
+                      Ok { status; version; headers = hs; body })))
+      | [] | [ _ ] -> Error "malformed status line")
+
+let to_wire t =
+  let buf = Buffer.create (String.length t.body + 128) in
+  Buffer.add_string buf t.version;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (Status.code t.status));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Status.reason t.status);
+  Buffer.add_string buf "\r\n";
+  let headers =
+    if not (Headers.mem t.headers "Content-Length") then
+      Headers.replace t.headers "Content-Length"
+        (string_of_int (String.length t.body))
+    else t.headers
+  in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf v;
+      Buffer.add_string buf "\r\n")
+    (Headers.to_list headers);
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf t.body;
+  Buffer.contents buf
+
+let wire_size t = String.length (to_wire t)
+let body_size t = String.length t.body
+
+let pp ppf t =
+  Format.fprintf ppf "%s %a (%d bytes)" t.version Status.pp t.status
+    (body_size t)

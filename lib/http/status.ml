@@ -1,0 +1,44 @@
+type t =
+  | Ok
+  | Bad_request
+  | Forbidden
+  | Not_found
+  | Internal_server_error
+  | Not_implemented
+  | Service_unavailable
+
+let code = function
+  | Ok -> 200
+  | Bad_request -> 400
+  | Forbidden -> 403
+  | Not_found -> 404
+  | Internal_server_error -> 500
+  | Not_implemented -> 501
+  | Service_unavailable -> 503
+
+let reason = function
+  | Ok -> "OK"
+  | Bad_request -> "Bad Request"
+  | Forbidden -> "Forbidden"
+  | Not_found -> "Not Found"
+  | Internal_server_error -> "Internal Server Error"
+  | Not_implemented -> "Not Implemented"
+  | Service_unavailable -> "Service Unavailable"
+
+let of_code = function
+  | 200 -> Stdlib.Ok Ok
+  | 400 -> Stdlib.Ok Bad_request
+  | 403 -> Stdlib.Ok Forbidden
+  | 404 -> Stdlib.Ok Not_found
+  | 500 -> Stdlib.Ok Internal_server_error
+  | 501 -> Stdlib.Ok Not_implemented
+  | 503 -> Stdlib.Ok Service_unavailable
+  | n -> Error (Printf.sprintf "unknown status code %d" n)
+
+let is_success = function
+  | Ok -> true
+  | Bad_request | Forbidden | Not_found | Internal_server_error
+  | Not_implemented | Service_unavailable ->
+      false
+
+let pp ppf t = Format.fprintf ppf "%d %s" (code t) (reason t)

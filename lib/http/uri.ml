@@ -1,0 +1,126 @@
+type t = { path : string; query : (string * string) list }
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '%' ->
+          if i + 2 >= n then Error "truncated percent escape"
+          else (
+            match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+            | Some h, Some l ->
+                Buffer.add_char buf (Char.chr ((h * 16) + l));
+                go (i + 3)
+            | _ -> Error (Printf.sprintf "bad percent escape at %d" i))
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let safe_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '-' | '_' | '.' | '~' | '/' -> true
+  | _ -> false
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if safe_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> (s, None)
+  | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_query qs =
+  if String.equal qs "" then Ok []
+  else
+    let parts = String.split_on_char '&' qs in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | "" :: rest -> go acc rest
+      | part :: rest -> (
+          let k, v = split_on_first '=' part in
+          let v = Option.value v ~default:"" in
+          match (percent_decode k, percent_decode v) with
+          | Ok k, Ok v -> go ((k, v) :: acc) rest
+          | Error e, _ | _, Error e -> Error e)
+    in
+    go [] parts
+
+let parse s =
+  if String.equal s "" then Error "empty request-URI"
+  else
+    let raw_path, raw_query = split_on_first '?' s in
+    if String.length raw_path = 0 || raw_path.[0] <> '/' then
+      Error "request-URI must be absolute (start with '/')"
+    else
+      match percent_decode raw_path with
+      | Error e -> Error e
+      | Ok path -> (
+          match parse_query (Option.value raw_query ~default:"") with
+          | Error e -> Error e
+          | Ok query -> Ok { path; query })
+
+let encode_component s =
+  (* For query keys/values: '/' is not safe there. *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if safe_char c && c <> '/' then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let to_string t =
+  let path = percent_encode t.path in
+  match t.query with
+  | [] -> path
+  | q ->
+      let pairs =
+        List.map
+          (fun (k, v) -> encode_component k ^ "=" ^ encode_component v)
+          q
+      in
+      path ^ "?" ^ String.concat "&" pairs
+
+let canonical t =
+  let cmp (k1, v1) (k2, v2) =
+    let c = String.compare k1 k2 in
+    if c <> 0 then c else String.compare v1 v2
+  in
+  { t with query = List.stable_sort cmp t.query }
+
+let query_get t name =
+  match List.find_opt (fun (k, _) -> String.equal k name) t.query with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let equal a b =
+  String.equal a.path b.path
+  && List.length a.query = List.length b.query
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a.query b.query
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

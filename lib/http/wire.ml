@@ -1,0 +1,25 @@
+let split_head s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then (List.rev acc, n)
+    else
+      match String.index_from_opt s i '\n' with
+      | None -> (List.rev (String.sub s i (n - i) :: acc), n)
+      | Some j ->
+          let stop = if j > i && s.[j - 1] = '\r' then j - 1 else j in
+          let line = String.sub s i (stop - i) in
+          if String.equal line "" then (List.rev acc, j + 1)
+          else go (j + 1) (line :: acc)
+  in
+  go 0 []
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "malformed header line %S" line)
+  | Some i ->
+      let name = String.sub line 0 i in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      if String.equal (String.trim name) "" then Error "empty header name"
+      else Ok (String.trim name, value)

@@ -1,0 +1,9 @@
+(** Shared wire-format helpers for request and response parsing. *)
+
+(** [split_head s] splits the message head into lines (tolerating CRLF and
+    bare LF), stopping at the first empty line; returns the lines and the
+    byte offset of the body. *)
+val split_head : string -> string list * int
+
+(** [parse_header_line line] splits ["Name: value"]. *)
+val parse_header_line : string -> (string * string, string) result

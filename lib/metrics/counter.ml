@@ -1,0 +1,34 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name k =
+  let r = cell t name in
+  r := !r + k
+
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let merge a b =
+  let out = create () in
+  let fold src = Hashtbl.iter (fun k r -> add out k !r) src in
+  fold a;
+  fold b;
+  out
+
+let pp ppf t =
+  let items = names t in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun k -> Format.fprintf ppf "%s=%d@ " k (get t k)) items;
+  Format.fprintf ppf "@]"

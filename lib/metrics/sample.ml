@@ -1,0 +1,59 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool;
+  mutable total : float;
+}
+
+let create () = { data = [||]; size = 0; sorted = true; total = 0. }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ndata = Array.make ncap 0. in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false;
+  t.total <- t.total +. x
+
+let count t = t.size
+let total t = t.total
+let mean t = if t.size = 0 then 0. else t.total /. float_of_int t.size
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.data 0 t.size in
+    Array.sort Float.compare view;
+    Array.blit view 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let quantile t q =
+  if t.size = 0 then invalid_arg "Sample.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Sample.quantile: q out of [0,1]";
+  ensure_sorted t;
+  let pos = q *. float_of_int (t.size - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Stdlib.min (t.size - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac)
+
+let median t = quantile t 0.5
+
+let min t =
+  if t.size = 0 then invalid_arg "Sample.min: empty";
+  ensure_sorted t;
+  t.data.(0)
+
+let max t =
+  if t.size = 0 then invalid_arg "Sample.max: empty";
+  ensure_sorted t;
+  t.data.(t.size - 1)
+
+let values t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.size

@@ -1,0 +1,22 @@
+(** Exact sample collector: stores every observation for quantile queries.
+    Experiments here observe at most a few hundred thousand response times,
+    so exact quantiles are affordable and simpler than sketches. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val total : t -> float
+
+(** [quantile t q] with [0 <= q <= 1]; linear interpolation between order
+    statistics. Raises [Invalid_argument] when empty or [q] out of range. *)
+val quantile : t -> float -> float
+
+val median : t -> float
+val min : t -> float
+val max : t -> float
+
+(** [values t] is a sorted copy of the observations. *)
+val values : t -> float array

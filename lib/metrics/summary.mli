@@ -1,0 +1,34 @@
+(** Streaming summary statistics (Welford's algorithm): numerically stable
+    mean/variance plus min/max/total, mergeable across nodes. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] folds one observation in. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+
+(** [mean t] is [0.] when empty. *)
+val mean : t -> float
+
+(** [variance t] is the unbiased sample variance ([0.] for n < 2). *)
+val variance : t -> float
+
+val stddev : t -> float
+
+(** [min t] / [max t] raise [Invalid_argument] when empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** [merge a b] returns a fresh summary equivalent to observing both
+    streams. *)
+val merge : t -> t -> t
+
+val copy : t -> t
+
+(** [pp] prints ["n=… mean=… sd=… min=… max=…"]. *)
+val pp : Format.formatter -> t -> unit

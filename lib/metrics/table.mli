@@ -1,0 +1,29 @@
+(** Aligned plain-text tables, used by the bench harness to print each paper
+    table/figure in the same row/column layout the paper reports. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~columns] where each column is (header, alignment). *)
+val create : title:string -> columns:(string * align) list -> t
+
+(** [add_row t cells] appends a row; must match the column count. *)
+val add_row : t -> string list -> unit
+
+(** Cell formatting helpers. *)
+val fmt_f : ?decimals:int -> float -> string
+
+val fmt_pct : ?decimals:int -> float -> string
+val fmt_i : int -> string
+
+(** [render t] produces the table as a string (title, rule, header, rows). *)
+val render : t -> string
+
+(** [to_csv t] renders header + rows as RFC-4180-ish CSV (quotes doubled,
+    fields with commas/quotes/newlines quoted). The title is not
+    included. *)
+val to_csv : t -> string
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

@@ -1,0 +1,38 @@
+type t = {
+  window : float;
+  mutable cells : Summary.t array;
+  mutable used : int;
+  all : Summary.t;
+}
+
+let create ~window =
+  if window <= 0. then invalid_arg "Timeseries.create: window must be > 0";
+  { window; cells = [||]; used = 0; all = Summary.create () }
+
+let window t = t.window
+
+let ensure t idx =
+  if idx >= Array.length t.cells then begin
+    let ncap = Stdlib.max 16 (Stdlib.max (idx + 1) (2 * Array.length t.cells)) in
+    let ncells = Array.init ncap (fun _ -> Summary.create ()) in
+    Array.blit t.cells 0 ncells 0 (Array.length t.cells);
+    t.cells <- ncells
+  end;
+  if idx >= t.used then t.used <- idx + 1
+
+let add t ~time value =
+  if time < 0. then invalid_arg "Timeseries.add: negative time";
+  let idx = int_of_float (time /. t.window) in
+  ensure t idx;
+  Summary.add t.cells.(idx) value;
+  Summary.add t.all value
+
+let buckets t = Array.sub t.cells 0 t.used
+let n_buckets t = t.used
+
+let bucket_means t =
+  Array.map
+    (fun s -> if Summary.count s = 0 then Float.nan else Summary.mean s)
+    (buckets t)
+
+let total t = Summary.copy t.all

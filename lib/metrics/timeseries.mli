@@ -1,0 +1,26 @@
+(** Windowed time series: observations bucketed by timestamp, for studying
+    transients (e.g. the response-time drop as a cold cache warms up). *)
+
+type t
+
+(** [create ~window] buckets observations into consecutive windows of
+    [window > 0] seconds starting at time 0. *)
+val create : window:float -> t
+
+(** [add t ~time value] records [value] at [time >= 0]. *)
+val add : t -> time:float -> float -> unit
+
+val window : t -> float
+
+(** [buckets t] returns one summary per window from 0 to the latest
+    observation (empty windows yield empty summaries). *)
+val buckets : t -> Summary.t array
+
+(** [bucket_means t] is the per-window mean ([nan] for empty windows). *)
+val bucket_means : t -> float array
+
+(** [n_buckets t] is the number of windows spanned so far. *)
+val n_buckets : t -> int
+
+(** [total t] is a summary over all observations. *)
+val total : t -> Summary.t

@@ -1,0 +1,23 @@
+type t = { queue : unit Engine.resumer Queue.t }
+
+let create () = { queue = Queue.create () }
+
+let wait t m =
+  if not (Mutex.locked m) then invalid_arg "Condvar.wait: mutex not held";
+  Engine.suspend (fun resume ->
+      Queue.push resume t.queue;
+      Mutex.unlock m);
+  Mutex.lock m
+
+let signal t =
+  match Queue.take_opt t.queue with Some resume -> resume () | None -> ()
+
+let broadcast t =
+  (* Drain into a list first: a woken process could conceivably re-wait, and
+     it must not be woken again by this same broadcast. *)
+  let woken = ref [] in
+  Queue.iter (fun r -> woken := r :: !woken) t.queue;
+  Queue.clear t.queue;
+  List.iter (fun r -> r ()) (List.rev !woken)
+
+let waiters t = Queue.length t.queue

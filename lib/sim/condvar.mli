@@ -1,0 +1,17 @@
+(** Condition variable for simulated processes, paired with {!Mutex}. *)
+
+type t
+
+val create : unit -> t
+
+(** [wait c m] atomically releases [m] and blocks until signalled, then
+    reacquires [m] before returning. [m] must be held. *)
+val wait : t -> Mutex.t -> unit
+
+(** [signal c] wakes one waiter (FIFO), if any. *)
+val signal : t -> unit
+
+(** [broadcast c] wakes every current waiter. *)
+val broadcast : t -> unit
+
+val waiters : t -> int

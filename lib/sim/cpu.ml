@@ -1,0 +1,102 @@
+type job = { mutable remaining : float; resume : unit Engine.resumer }
+
+type t = {
+  engine : Engine.t;
+  cores : int;
+  speed : float;
+  mutable jobs : job list;
+  mutable last_update : float;
+  mutable next_completion : Engine.handle option;
+  mutable n_completed : int;
+  mutable work_delivered : float;
+}
+
+let eps = 1e-12
+
+let create ?(speed = 1.0) engine ~cores =
+  if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
+  if speed <= 0. then invalid_arg "Cpu.create: speed must be positive";
+  {
+    engine;
+    cores;
+    speed;
+    jobs = [];
+    last_update = Engine.current_time engine;
+    next_completion = None;
+    n_completed = 0;
+    work_delivered = 0.;
+  }
+
+(* Per-job service rate with the current multiprogramming level. *)
+let rate t =
+  let n = List.length t.jobs in
+  if n = 0 then 0.
+  else t.speed *. Float.min 1.0 (float_of_int t.cores /. float_of_int n)
+
+(* Charge elapsed wall time against every resident job. *)
+let advance t =
+  let now = Engine.current_time t.engine in
+  let dt = now -. t.last_update in
+  if dt > 0. && t.jobs <> [] then begin
+    let r = rate t in
+    let served = dt *. r in
+    List.iter
+      (fun j -> j.remaining <- Float.max 0. (j.remaining -. served))
+      t.jobs;
+    t.work_delivered <- t.work_delivered +. (served *. float_of_int (List.length t.jobs))
+  end;
+  t.last_update <- now
+
+let rec reschedule t =
+  (match t.next_completion with
+  | Some h ->
+      Engine.cancel h;
+      t.next_completion <- None
+  | None -> ());
+  match t.jobs with
+  | [] -> ()
+  | jobs ->
+      let min_rem =
+        List.fold_left (fun acc j -> Float.min acc j.remaining) infinity jobs
+      in
+      let r = rate t in
+      let dt = Float.max 0. (min_rem /. r) in
+      t.next_completion <-
+        Some (Engine.schedule_after t.engine dt (fun () -> complete t))
+
+and complete t =
+  t.next_completion <- None;
+  advance t;
+  let done_, rest = List.partition (fun j -> j.remaining <= eps) t.jobs in
+  t.jobs <- rest;
+  t.n_completed <- t.n_completed + List.length done_;
+  (* Resumers schedule their continuations at the current time. *)
+  List.iter (fun j -> j.resume ()) done_;
+  reschedule t
+
+let consume t demand =
+  if demand < 0. then invalid_arg "Cpu.consume: negative demand";
+  if demand <= eps then Engine.yield ()
+  else
+    Engine.suspend (fun resume ->
+        advance t;
+        t.jobs <- { remaining = demand; resume } :: t.jobs;
+        reschedule t)
+
+let active_jobs t = List.length t.jobs
+let completed t = t.n_completed
+
+let busy_time t =
+  (* Include work delivered since the last bookkeeping update. *)
+  let now = Engine.current_time t.engine in
+  let dt = now -. t.last_update in
+  let extra =
+    if dt > 0. && t.jobs <> [] then
+      dt *. rate t *. float_of_int (List.length t.jobs)
+    else 0.
+  in
+  t.work_delivered +. extra
+
+let utilisation t ~elapsed =
+  if elapsed <= 0. then 0.
+  else busy_time t /. (elapsed *. t.speed *. float_of_int t.cores)

@@ -1,0 +1,37 @@
+type t = {
+  seek : float;
+  bandwidth : float;
+  mem_bandwidth : float;
+  arm : Mutex.t;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+let create ?(seek = 0.008) ?(bandwidth = 8e6) ?(mem_bandwidth = 80e6) _engine =
+  if bandwidth <= 0. || mem_bandwidth <= 0. then
+    invalid_arg "Disk.create: bandwidth must be positive";
+  {
+    seek;
+    bandwidth;
+    mem_bandwidth;
+    arm = Mutex.create ();
+    n_reads = 0;
+    n_writes = 0;
+  }
+
+let read t ~bytes ~cached =
+  if bytes < 0 then invalid_arg "Disk.read: negative size";
+  t.n_reads <- t.n_reads + 1;
+  if cached then Engine.delay (float_of_int bytes /. t.mem_bandwidth)
+  else
+    Mutex.with_lock t.arm (fun () ->
+        Engine.delay (t.seek +. (float_of_int bytes /. t.bandwidth)))
+
+let write t ~bytes =
+  if bytes < 0 then invalid_arg "Disk.write: negative size";
+  t.n_writes <- t.n_writes + 1;
+  Mutex.with_lock t.arm (fun () ->
+      Engine.delay (t.seek +. (float_of_int bytes /. t.bandwidth)))
+
+let reads t = t.n_reads
+let writes t = t.n_writes

@@ -1,0 +1,26 @@
+(** Simple FIFO disk model: one request at a time, service time =
+    [seek + bytes / bandwidth]. The cache stores each CGI result in its own
+    file (paper §4.1), but on a UNIX box a recently used file is served from
+    the OS buffer cache; callers model that by passing [~cached:true], which
+    skips the seek and uses memory bandwidth instead. *)
+
+type t
+
+val create :
+  ?seek:float ->
+  ?bandwidth:float ->
+  ?mem_bandwidth:float ->
+  Engine.t ->
+  t
+(** Defaults approximate a late-90s workstation disk: [seek = 8ms],
+    [bandwidth = 8 MB/s], [mem_bandwidth = 80 MB/s]. *)
+
+(** [read d ~bytes ~cached] blocks the calling process for the transfer.
+    Uncached reads serialise through the disk; buffer-cache reads do not. *)
+val read : t -> bytes:int -> cached:bool -> unit
+
+(** [write d ~bytes] blocks for a (serialised) write of [bytes]. *)
+val write : t -> bytes:int -> unit
+
+val reads : t -> int
+val writes : t -> int

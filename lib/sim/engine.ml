@@ -1,0 +1,163 @@
+type event = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable cancelled_count : int;
+  mutable n_suspended : int;
+  queue : event Pqueue.t;
+}
+
+exception Not_in_process
+exception Deadlock of string
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    cancelled_count = 0;
+    n_suspended = 0;
+    queue = Pqueue.create ~cmp:cmp_event;
+  }
+
+let current_time t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.clock);
+  let ev = { time; seq = t.next_seq; cancelled = false; action = f } in
+  t.next_seq <- t.next_seq + 1;
+  Pqueue.push t.queue ev;
+  ev
+
+let schedule_after t dt f =
+  if dt < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. dt) f
+
+let cancel ev = ev.cancelled <- true
+
+let pending t =
+  (* Cancelled events stay in the heap until popped; they are not counted
+     by clients, so we track them separately only for run's deadlock check.
+     Pqueue length is an upper bound; good enough for diagnostics. *)
+  Pqueue.length t.queue
+
+let suspended t = t.n_suspended
+
+(* ------------------------------------------------------------------ *)
+(* Effects *)
+
+type 'a resumer = 'a -> unit
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+  | Now_eff : float Effect.t
+  | Engine_eff : t Effect.t
+  | Fork : (unit -> unit) -> unit Effect.t
+
+let now () = try Effect.perform Now_eff with Effect.Unhandled _ -> raise Not_in_process
+
+let self_engine () =
+  try Effect.perform Engine_eff with Effect.Unhandled _ -> raise Not_in_process
+
+let delay dt =
+  if dt < 0. then invalid_arg "Engine.delay: negative delay";
+  try Effect.perform (Delay dt) with Effect.Unhandled _ -> raise Not_in_process
+
+let yield () = delay 0.
+
+let spawn_child f =
+  try Effect.perform (Fork f) with Effect.Unhandled _ -> raise Not_in_process
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> raise Not_in_process
+
+(* ------------------------------------------------------------------ *)
+(* Process runner *)
+
+open Effect.Deep
+
+let rec run_process t (f : unit -> unit) =
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay dt ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore
+                    (schedule_after t dt (fun () -> continue k ()) : handle))
+          | Now_eff -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
+          | Engine_eff -> Some (fun (k : (a, unit) continuation) -> continue k t)
+          | Fork g ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore
+                    (schedule_at t t.clock (fun () -> run_process t g) : handle);
+                  continue k ())
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.n_suspended <- t.n_suspended + 1;
+                  let fired = ref false in
+                  let resume v =
+                    if !fired then
+                      invalid_arg "Engine: resumer called twice";
+                    fired := true;
+                    t.n_suspended <- t.n_suspended - 1;
+                    ignore
+                      (schedule_at t t.clock (fun () -> continue k v) : handle)
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  match_with f () handler
+
+let spawn t f = ignore (schedule_at t t.clock (fun () -> run_process t f) : handle)
+
+let run ?until ?(detect_deadlock = false) t =
+  let horizon = until in
+  let rec loop () =
+    match Pqueue.peek t.queue with
+    | None -> ()
+    | Some ev when ev.cancelled ->
+        ignore (Pqueue.pop t.queue);
+        loop ()
+    | Some ev -> (
+        match horizon with
+        | Some h when ev.time > h ->
+            t.clock <- Float.max t.clock h
+        | _ ->
+            ignore (Pqueue.pop t.queue);
+            t.clock <- ev.time;
+            ev.action ();
+            loop ())
+  in
+  loop ();
+  (match horizon with
+  | Some h when Pqueue.is_empty t.queue -> t.clock <- Float.max t.clock h
+  | _ -> ());
+  if detect_deadlock && Pqueue.is_empty t.queue && t.n_suspended > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d process(es) still suspended at t=%g" t.n_suspended
+            t.clock))

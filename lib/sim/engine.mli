@@ -1,0 +1,88 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated threads ("processes") are ordinary OCaml functions executed
+    under an effect handler. A process suspends by performing one of the
+    engine's effects ({!delay}, {!suspend}, or a synchronisation primitive
+    built on them) and the engine resumes it later by scheduling its captured
+    continuation as an event. Events fire in (time, sequence) order, so runs
+    are fully deterministic.
+
+    All per-process operations ({!delay}, {!now}, {!spawn_child}, {!suspend},
+    {!self_engine}) must be called from inside a process started with
+    {!spawn}; calling them elsewhere raises [Not_in_process]. *)
+
+type t
+(** An engine instance: virtual clock plus event queue. *)
+
+type handle
+(** A scheduled event, usable with {!cancel}. *)
+
+exception Not_in_process
+(** Raised when a process-only operation is performed outside any process. *)
+
+exception Deadlock of string
+(** Raised by {!run} when [detect_deadlock] is set and the queue drains while
+    suspended processes remain. *)
+
+val create : unit -> t
+
+(** [current_time t] is the engine clock (also see {!now} from inside a
+    process). Starts at [0.]. *)
+val current_time : t -> float
+
+(** [schedule_at t time f] queues [f] to run at absolute [time]. Events
+    scheduled for the past raise [Invalid_argument]. *)
+val schedule_at : t -> float -> (unit -> unit) -> handle
+
+(** [schedule_after t dt f] queues [f] at [current_time t +. dt], [dt >= 0]. *)
+val schedule_after : t -> float -> (unit -> unit) -> handle
+
+(** [cancel h] prevents a pending event from firing; idempotent, and a no-op
+    if the event already fired. *)
+val cancel : handle -> unit
+
+(** [spawn t f] registers [f] as a new process starting at the current time.
+    May be called from inside or outside a process. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [run ?until ?detect_deadlock t] executes events until the queue is empty
+    or the clock would pass [until] (the clock is then set to [until]).
+    With [detect_deadlock] (default [false]), raises {!Deadlock} if the run
+    ends while some process is still suspended. *)
+val run : ?until:float -> ?detect_deadlock:bool -> t -> unit
+
+(** [pending t] is the number of queued (uncancelled) events. *)
+val pending : t -> int
+
+(** [suspended t] is the number of processes currently blocked in
+    {!suspend}. *)
+val suspended : t -> int
+
+(** {1 Process-side operations} *)
+
+(** [now ()] is the current simulated time. *)
+val now : unit -> float
+
+(** [self_engine ()] is the engine running the calling process. *)
+val self_engine : unit -> t
+
+(** [delay dt] suspends the calling process for [dt >= 0] simulated seconds. *)
+val delay : float -> unit
+
+(** [yield ()] reschedules the calling process at the current time, letting
+    already-queued same-time events run first. *)
+val yield : unit -> unit
+
+(** [spawn_child f] starts [f] as a sibling process at the current time. *)
+val spawn_child : (unit -> unit) -> unit
+
+type 'a resumer = 'a -> unit
+(** A one-shot wake-up function for a suspended process. Calling it schedules
+    the process to resume (with the given value) at the engine's current
+    time. Calling it twice raises [Invalid_argument]. *)
+
+(** [suspend register] blocks the calling process. [register] receives the
+    process's {!resumer} and typically stores it in a wait queue; the process
+    resumes when some other event calls the resumer. This is the primitive
+    from which mailboxes, locks and condition variables are built. *)
+val suspend : ('a resumer -> unit) -> 'a

@@ -1,0 +1,20 @@
+type t = { mutable count : int; mutable waiters : unit Engine.resumer list }
+
+let create n =
+  if n < 0 then invalid_arg "Latch.create: negative count";
+  { count = n; waiters = [] }
+
+let arrive t =
+  if t.count <= 0 then invalid_arg "Latch.arrive: already at zero";
+  t.count <- t.count - 1;
+  if t.count = 0 then begin
+    let ws = List.rev t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> w ()) ws
+  end
+
+let wait t =
+  if t.count > 0 then
+    Engine.suspend (fun resume -> t.waiters <- resume :: t.waiters)
+
+let remaining t = t.count

@@ -1,0 +1,16 @@
+(** Countdown latch: experiment controllers use it to wait for a fleet of
+    client processes to finish before tearing daemons down. *)
+
+type t
+
+(** [create n] expects [n >= 0] arrivals. *)
+val create : int -> t
+
+(** [arrive t] records one arrival; wakes waiters when the count hits 0.
+    Raises [Invalid_argument] on extra arrivals. *)
+val arrive : t -> unit
+
+(** [wait t] blocks until the count reaches 0 (immediate if already 0). *)
+val wait : t -> unit
+
+val remaining : t -> int

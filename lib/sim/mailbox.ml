@@ -1,0 +1,53 @@
+type 'a waiter = { mutable active : bool; resume : 'a option Engine.resumer }
+
+type 'a t = { items : 'a Queue.t; waiting : 'a waiter Queue.t }
+
+let create () = { items = Queue.create (); waiting = Queue.create () }
+
+(* Pop the first waiter that has not timed out. *)
+let rec take_waiter t =
+  match Queue.take_opt t.waiting with
+  | None -> None
+  | Some w -> if w.active then Some w else take_waiter t
+
+let send t v =
+  match take_waiter t with
+  | Some w ->
+      w.active <- false;
+      w.resume (Some v)
+  | None -> Queue.push v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> (
+      let got =
+        Engine.suspend (fun resume ->
+            Queue.push { active = true; resume } t.waiting)
+      in
+      match got with
+      | Some v -> v
+      | None -> assert false (* plain waiters are only resumed by send *))
+
+let recv_timeout t ~timeout =
+  if timeout < 0. then invalid_arg "Mailbox.recv_timeout: negative timeout";
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      let engine = Engine.self_engine () in
+      Engine.suspend (fun resume ->
+          let w = { active = true; resume } in
+          Queue.push w t.waiting;
+          ignore
+            (Engine.schedule_after engine timeout (fun () ->
+                 if w.active then begin
+                   w.active <- false;
+                   w.resume None
+                 end)
+              : Engine.handle))
+
+let try_recv t = Queue.take_opt t.items
+let length t = Queue.length t.items
+
+let receivers t =
+  Queue.fold (fun acc w -> if w.active then acc + 1 else acc) 0 t.waiting

@@ -1,0 +1,30 @@
+(** Unbounded typed FIFO channel between simulated processes.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Receivers are served in FIFO order, so a pool of request threads
+    blocking on one mailbox behaves like worker threads taking turns on a
+    listen socket (paper §4.1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send mb v] enqueues [v], waking the longest-waiting receiver if any. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv mb] dequeues the next message, blocking while empty. *)
+val recv : 'a t -> 'a
+
+(** [recv_timeout mb ~timeout] is {!recv} bounded by [timeout >= 0]
+    simulated seconds: [None] if nothing arrived in time. A message and
+    the timeout expiring at the same instant resolve in event order. *)
+val recv_timeout : 'a t -> timeout:float -> 'a option
+
+(** [try_recv mb] dequeues without blocking. *)
+val try_recv : 'a t -> 'a option
+
+(** [length mb] is the number of queued (unconsumed) messages. *)
+val length : 'a t -> int
+
+(** [receivers mb] is the number of processes blocked in {!recv}. *)
+val receivers : 'a t -> int

@@ -1,0 +1,33 @@
+type t = { mutable held : bool; queue : unit Engine.resumer Queue.t }
+
+let create () = { held = false; queue = Queue.create () }
+
+let lock t =
+  if not t.held then t.held <- true
+  else Engine.suspend (fun resume -> Queue.push resume t.queue)
+
+let try_lock t =
+  if t.held then false
+  else begin
+    t.held <- true;
+    true
+  end
+
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  match Queue.take_opt t.queue with
+  | Some resume -> resume () (* lock stays held, ownership transfers *)
+  | None -> t.held <- false
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e
+
+let locked t = t.held
+let waiters t = Queue.length t.queue

@@ -1,0 +1,21 @@
+(** Mutual-exclusion lock for simulated processes (FIFO hand-off). *)
+
+type t
+
+val create : unit -> t
+
+(** [lock m] blocks the calling process until the lock is held. *)
+val lock : t -> unit
+
+(** [try_lock m] acquires without blocking; [true] on success. *)
+val try_lock : t -> bool
+
+(** [unlock m] releases and hands the lock to the longest waiter, if any.
+    Raises [Invalid_argument] if the lock is not held. *)
+val unlock : t -> unit
+
+(** [with_lock m f] runs [f ()] holding the lock, releasing on exception. *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+val locked : t -> bool
+val waiters : t -> int

@@ -1,0 +1,95 @@
+type t = {
+  engine : Engine.t;
+  lat : float;
+  bandwidth : float;
+  loss : float;
+  rng : Rng.t option;
+  nics : Mutex.t array;
+  mutable n_messages : int;
+  mutable n_bytes : int;
+  mutable n_lost : int;
+}
+
+let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng engine
+    ~n_endpoints =
+  if n_endpoints < 1 then invalid_arg "Net.create: need at least one endpoint";
+  if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
+  if loss < 0. || loss > 1. then invalid_arg "Net.create: loss out of [0,1]";
+  if loss > 0. && rng = None then
+    invalid_arg "Net.create: positive loss needs an rng";
+  {
+    engine;
+    lat = latency;
+    bandwidth;
+    loss;
+    rng;
+    nics = Array.init n_endpoints (fun _ -> Mutex.create ());
+    n_messages = 0;
+    n_bytes = 0;
+    n_lost = 0;
+  }
+
+let dropped t =
+  t.loss > 0.
+  &&
+  match t.rng with
+  | Some rng ->
+      if Rng.float rng < t.loss then begin
+        t.n_lost <- t.n_lost + 1;
+        true
+      end
+      else false
+  | None -> false
+
+let check_endpoint t who = if who < 0 || who >= Array.length t.nics then
+    invalid_arg "Net: endpoint out of range"
+
+let tx_time t bytes = float_of_int bytes /. t.bandwidth
+
+let account t bytes =
+  t.n_messages <- t.n_messages + 1;
+  t.n_bytes <- t.n_bytes + bytes
+
+let send t ~src ~dst ~bytes mailbox msg =
+  check_endpoint t src;
+  check_endpoint t dst;
+  if bytes < 0 then invalid_arg "Net.send: negative size";
+  account t bytes;
+  if src = dst then Mailbox.send mailbox msg
+  else begin
+    (* Serialise through the sender's NIC, then fly for [lat]. *)
+    Mutex.with_lock t.nics.(src) (fun () -> Engine.delay (tx_time t bytes));
+    if not (dropped t) then
+      ignore
+        (Engine.schedule_after t.engine t.lat (fun () ->
+             Mailbox.send mailbox msg)
+          : Engine.handle)
+  end
+
+let post t ~src ~dst ~bytes mailbox msg =
+  check_endpoint t src;
+  check_endpoint t dst;
+  if bytes < 0 then invalid_arg "Net.post: negative size";
+  account t bytes;
+  if src = dst then Mailbox.send mailbox msg
+  else if not (dropped t) then
+    ignore
+      (Engine.schedule_after t.engine
+         (tx_time t bytes +. t.lat)
+         (fun () -> Mailbox.send mailbox msg)
+        : Engine.handle)
+
+let transfer t ~src ~dst ~bytes =
+  check_endpoint t src;
+  check_endpoint t dst;
+  if bytes < 0 then invalid_arg "Net.transfer: negative size";
+  account t bytes;
+  if src <> dst then begin
+    Mutex.with_lock t.nics.(src) (fun () -> Engine.delay (tx_time t bytes));
+    Engine.delay t.lat
+  end
+
+let latency t = t.lat
+let messages_sent t = t.n_messages
+let bytes_sent t = t.n_bytes
+let messages_lost t = t.n_lost

@@ -1,0 +1,52 @@
+(** Switched-LAN network model.
+
+    Messages between nodes experience a fixed one-way latency plus a
+    transmission time [bytes / bandwidth] serialised through the sender's
+    NIC (a switched 100 Mbit Ethernet, as in the paper's testbed, has no
+    shared-medium contention, but each host's link is a serial resource).
+
+    Deliveries are asynchronous: {!send} returns immediately on the sender's
+    timeline and the message arrives in the destination mailbox later.
+    {!transfer} is the blocking variant used to model a request/reply byte
+    stream from the caller's point of view. *)
+
+type t
+
+val create :
+  ?latency:float ->
+  ?bandwidth:float ->
+  ?loss:float ->
+  ?rng:Rng.t ->
+  Engine.t ->
+  n_endpoints:int ->
+  t
+(** Defaults: [latency = 0.2 ms] one-way, [bandwidth = 12.5 MB/s]
+    (100 Mbit/s). [n_endpoints] sizes the per-host NIC resources; endpoint
+    ids are [0 .. n_endpoints-1].
+
+    [loss] (default [0.]) is the probability that a {!send}/{!post}
+    message is silently dropped after transmission — for failure-injection
+    experiments ([rng] required when positive; loopback and blocking
+    {!transfer}s never drop, mirroring TCP's reliability for established
+    streams vs. datagram-style notifications). *)
+
+(** [send net ~src ~dst ~bytes mailbox msg] transmits asynchronously:
+    occupies [src]'s NIC for the transmission time, then delivers [msg] to
+    [mailbox] after the latency. Must be called from a process. *)
+val send : t -> src:int -> dst:int -> bytes:int -> 'a Mailbox.t -> 'a -> unit
+
+(** [post net ~src ~dst ~bytes mailbox msg] is {!send} usable from outside a
+    process (e.g. experiment setup): the NIC occupancy is approximated by
+    scheduling delivery after transmission + latency without blocking. *)
+val post : t -> src:int -> dst:int -> bytes:int -> 'a Mailbox.t -> 'a -> unit
+
+(** [transfer net ~src ~dst ~bytes] blocks the calling process for the full
+    transfer of [bytes] from [src] to [dst] (transmission + latency). *)
+val transfer : t -> src:int -> dst:int -> bytes:int -> unit
+
+val latency : t -> float
+val messages_sent : t -> int
+val bytes_sent : t -> int
+
+(** [messages_lost t] counts drops due to [loss]. *)
+val messages_lost : t -> int

@@ -1,0 +1,28 @@
+(** Array-based binary min-heap, the event queue of the simulation engine.
+
+    Elements are ordered by a comparison supplied at creation; ties are
+    broken by insertion order only if the comparison says so (the engine
+    encodes a sequence number in its keys for this purpose). *)
+
+type 'a t
+
+(** [create ~cmp] returns an empty heap ordered by [cmp] (min first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. Amortised O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** [peek h] returns the minimum without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum. *)
+val pop : 'a t -> 'a option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit
+
+(** [drain h f] pops every element in order, applying [f]. *)
+val drain : 'a t -> ('a -> unit) -> unit

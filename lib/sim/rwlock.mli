@@ -1,0 +1,36 @@
+(** Readers-writer lock with FIFO fairness, used to model the table-level
+    locks of the replicated cache directory (paper §4.2: table-granularity
+    read/write locks minimise contention while bounding lock traffic).
+
+    Fairness: waiters are served in arrival order; a batch of consecutive
+    readers at the head of the queue is admitted together. This prevents both
+    reader and writer starvation. *)
+
+type t
+
+val create : unit -> t
+
+(** [rd_lock l] acquires shared access, blocking while a writer holds or
+    earlier waiters queue. *)
+val rd_lock : t -> unit
+
+val rd_unlock : t -> unit
+
+(** [wr_lock l] acquires exclusive access. *)
+val wr_lock : t -> unit
+
+val wr_unlock : t -> unit
+
+(** [with_rd l f] / [with_wr l f] run [f] under the lock, exception-safe. *)
+val with_rd : t -> (unit -> 'a) -> 'a
+
+val with_wr : t -> (unit -> 'a) -> 'a
+
+val readers : t -> int
+val writer_held : t -> bool
+val waiters : t -> int
+
+(** Cumulative acquisition counters, for the locking-granularity ablation. *)
+val rd_acquisitions : t -> int
+
+val wr_acquisitions : t -> int

@@ -1,0 +1,21 @@
+(** Counting semaphore for simulated processes (FIFO). *)
+
+type t
+
+(** [create n] starts with [n >= 0] permits. *)
+val create : int -> t
+
+(** [acquire s] takes a permit, blocking if none are available. *)
+val acquire : t -> unit
+
+(** [try_acquire s] takes a permit without blocking; [true] on success. *)
+val try_acquire : t -> bool
+
+(** [release s] returns a permit, waking the longest waiter if any. *)
+val release : t -> unit
+
+(** [with_permit s f] runs [f] holding one permit, exception-safe. *)
+val with_permit : t -> (unit -> 'a) -> 'a
+
+val available : t -> int
+val waiters : t -> int

@@ -1,0 +1,153 @@
+type stats = {
+  kept : int;
+  skipped_method : int;
+  skipped_status : int;
+  malformed : int;
+}
+
+(* Tokenise a CLF line: whitespace-separated, except [bracketed] and
+   "quoted" fields which keep their spaces. *)
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '[' -> (
+          match String.index_from_opt line i ']' with
+          | None -> Error "unterminated '['"
+          | Some j -> go (j + 1) (String.sub line (i + 1) (j - i - 1) :: acc))
+      | '"' -> (
+          match String.index_from_opt line (i + 1) '"' with
+          | None -> Error "unterminated '\"'"
+          | Some j -> go (j + 1) (String.sub line (i + 1) (j - i - 1) :: acc))
+      | _ ->
+          let j = ref i in
+          while !j < n && line.[!j] <> ' ' && line.[!j] <> '\t' do
+            incr j
+          done;
+          go !j (String.sub line i (!j - i) :: acc)
+  in
+  go 0 []
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let parse_line ?(cgi_prefix = "/cgi-bin/") ?(default_cgi_demand = 1.0) ~id line
+    =
+  let line = String.trim line in
+  if String.equal line "" || line.[0] = '#' then Ok None
+  else
+    match tokenize line with
+    | Error e -> Error e
+    | Ok tokens -> (
+        (* host ident user date request status bytes [service_time] *)
+        match tokens with
+        | _host :: _ident :: _user :: _date :: request :: status :: bytes
+          :: rest -> (
+            let service_time =
+              match rest with t :: _ -> float_of_string_opt t | [] -> None
+            in
+            match
+              (String.split_on_char ' ' request, int_of_string_opt status)
+            with
+            | _, None -> Error (Printf.sprintf "bad status %S" status)
+            | meth :: target :: _, Some code ->
+                if not (String.equal meth "GET") then Ok None
+                else if code < 200 || code > 299 then Ok None
+                else (
+                  match Http.Uri.parse target with
+                  | Error e -> Error e
+                  | Ok uri ->
+                      let out_bytes =
+                        match int_of_string_opt bytes with
+                        | Some b when b >= 0 -> b
+                        | Some _ | None -> 0
+                      in
+                      if is_prefix ~prefix:cgi_prefix uri.Http.Uri.path then
+                        let demand =
+                          match service_time with
+                          | Some t when t >= 0. -> t
+                          | Some _ | None -> default_cgi_demand
+                        in
+                        Ok
+                          (Some
+                             {
+                               Trace.id;
+                               kind =
+                                 Trace.Cgi
+                                   {
+                                     script = uri.Http.Uri.path;
+                                     args = uri.Http.Uri.query;
+                                     demand;
+                                     out_bytes;
+                                   };
+                             })
+                      else
+                        Ok
+                          (Some
+                             {
+                               Trace.id;
+                               kind =
+                                 Trace.File
+                                   { path = uri.Http.Uri.path; bytes = out_bytes };
+                             }))
+            | _, Some _ -> Error (Printf.sprintf "bad request field %S" request))
+        | _ -> Error "too few fields")
+
+let to_trace ?cgi_prefix ?default_cgi_demand text =
+  let lines = String.split_on_char '\n' text in
+  let items = ref [] in
+  let kept = ref 0 in
+  let skipped_method = ref 0 in
+  let skipped_status = ref 0 in
+  let malformed = ref 0 in
+  let id = ref 0 in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if not (String.equal trimmed "" || (String.length trimmed > 0 && trimmed.[0] = '#'))
+      then
+        match parse_line ?cgi_prefix ?default_cgi_demand ~id:!id line with
+        | Ok (Some item) ->
+            items := item :: !items;
+            incr kept;
+            incr id
+        | Ok None ->
+            (* Distinguish filtered methods from filtered statuses, best
+               effort: check the quoted request field. *)
+            if
+              String.length trimmed > 0
+              &&
+              match tokenize trimmed with
+              | Ok (_ :: _ :: _ :: _ :: request :: _) ->
+                  not (is_prefix ~prefix:"GET " request)
+              | Ok _ | Error _ -> false
+            then incr skipped_method
+            else incr skipped_status
+        | Error _ -> incr malformed)
+    lines;
+  ( List.rev !items,
+    {
+      kept = !kept;
+      skipped_method = !skipped_method;
+      skipped_status = !skipped_status;
+      malformed = !malformed;
+    } )
+
+let item_to_line (item : Trace.item) =
+  let req = Trace.to_request item in
+  let target = Http.Uri.to_string req.Http.Request.uri in
+  let bytes =
+    match item.Trace.kind with
+    | Trace.File { bytes; _ } -> bytes
+    | Trace.Cgi { out_bytes; _ } -> out_bytes
+  in
+  Printf.sprintf
+    "client%03d - - [01/Sep/1997:12:%02d:%02d -0700] \"GET %s HTTP/1.0\" 200 %d %.6f"
+    (item.Trace.id mod 100)
+    (item.Trace.id / 60 mod 60)
+    (item.Trace.id mod 60)
+    target bytes (Trace.service_time item)

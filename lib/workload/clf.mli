@@ -1,0 +1,45 @@
+(** Common Log Format import.
+
+    Real web-server access logs (the kind the paper's §3 study started
+    from) arrive in CLF:
+
+    {v
+    host ident authuser [date] "GET /path HTTP/1.0" status bytes
+    v}
+
+    with an optional trailing service-time field in seconds (several
+    servers of the era, and the paper's own re-measurement methodology,
+    append one). [to_trace] converts a log into a replayable {!Trace.t}:
+
+    - only successful [GET]s are kept (the paper filters HEAD/POST and
+      illegal requests);
+    - a request whose path starts with [cgi_prefix] (default
+      ["/cgi-bin/"]) becomes a CGI item whose demand is the trailing
+      service-time field when present, else [default_cgi_demand];
+    - anything else becomes a static file of the logged size. *)
+
+type stats = {
+  kept : int;
+  skipped_method : int;  (** HEAD/POST/other methods *)
+  skipped_status : int;  (** non-2xx responses *)
+  malformed : int;  (** unparseable lines *)
+}
+
+(** [parse_line ~id line] classifies one log line.
+    [Ok None] means a validly skipped line (filtered method/status). *)
+val parse_line :
+  ?cgi_prefix:string ->
+  ?default_cgi_demand:float ->
+  id:int ->
+  string ->
+  (Trace.item option, string) result
+
+(** [to_trace text] converts a whole log, tolerating malformed lines
+    (counted, not fatal). *)
+val to_trace :
+  ?cgi_prefix:string -> ?default_cgi_demand:float -> string -> Trace.t * stats
+
+(** [item_to_line item] renders a trace item back to CLF (with the
+    trailing service-time extension) — handy for generating realistic
+    -looking logs from the synthetic generators. *)
+val item_to_line : Trace.item -> string

@@ -1,0 +1,45 @@
+let file_mix =
+  [
+    ("/files/doc-500b.html", 500, 0.35);
+    ("/files/doc-5k.html", 5_000, 0.50);
+    ("/files/doc-50k.html", 50_000, 0.14);
+    ("/files/doc-500k.html", 500_000, 0.009);
+    ("/files/doc-1m.html", 1_000_000, 0.001);
+  ]
+
+let register_files registry =
+  List.iter
+    (fun (path, bytes, _) -> Cgi.Registry.register_file registry ~path ~bytes)
+    file_mix
+
+let mix_dist =
+  lazy (Sim.Dist.Discrete.make (Array.of_list (List.map (fun (_, _, w) -> w) file_mix)))
+
+let sample_file rng ~id =
+  let idx = Sim.Dist.Discrete.draw (Lazy.force mix_dist) rng in
+  let path, bytes, _ = List.nth file_mix idx in
+  { Trace.id; kind = Trace.File { path; bytes } }
+
+let file_trace ~seed ~n =
+  let rng = Sim.Rng.create seed in
+  List.init n (fun id -> sample_file rng ~id)
+
+let null_cgi_trace ~n =
+  List.init n (fun id ->
+      {
+        Trace.id;
+        kind =
+          Trace.Cgi
+            {
+              script = Cgi.Script.null.Cgi.Script.name;
+              args = [];
+              demand = 0.;
+              out_bytes = 64;
+            };
+      })
+
+let mean_file_bytes =
+  let total_w = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. file_mix in
+  List.fold_left
+    (fun acc (_, bytes, w) -> acc +. (float_of_int bytes *. w /. total_w))
+    0. file_mix

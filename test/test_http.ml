@@ -1,0 +1,346 @@
+(* Tests for the HTTP substrate: methods, statuses, headers, URIs,
+   request/response wire handling, cache keys. *)
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* ------------------------------------------------------------------ *)
+(* Meth / Status *)
+
+let test_meth_roundtrip () =
+  List.iter
+    (fun m ->
+      let s = Http.Meth.to_string m in
+      match Http.Meth.of_string s with
+      | Ok m' -> check_bool s true (Http.Meth.equal m m')
+      | Error e -> Alcotest.fail e)
+    [ Http.Meth.Get; Http.Meth.Head; Http.Meth.Post ]
+
+let test_meth_case_sensitive () =
+  check_bool "lowercase rejected" true
+    (Result.is_error (Http.Meth.of_string "get"))
+
+let test_meth_unknown () =
+  check_bool "unknown" true (Result.is_error (Http.Meth.of_string "BREW"))
+
+let test_status_codes () =
+  check_int "ok" 200 (Http.Status.code Http.Status.Ok);
+  check_int "404" 404 (Http.Status.code Http.Status.Not_found);
+  check_string "reason" "Not Found" (Http.Status.reason Http.Status.Not_found);
+  check_bool "success" true (Http.Status.is_success Http.Status.Ok);
+  check_bool "error" false (Http.Status.is_success Http.Status.Bad_request)
+
+let test_status_of_code () =
+  (match Http.Status.of_code 500 with
+  | Ok Http.Status.Internal_server_error -> ()
+  | Ok _ | Error _ -> Alcotest.fail "500");
+  check_bool "unknown code" true (Result.is_error (Http.Status.of_code 418))
+
+(* ------------------------------------------------------------------ *)
+(* Headers *)
+
+let test_headers_case_insensitive () =
+  let h = Http.Headers.add Http.Headers.empty "Content-Type" "text/html" in
+  Alcotest.(check (option string)) "lc" (Some "text/html")
+    (Http.Headers.get h "content-type");
+  Alcotest.(check (option string)) "uc" (Some "text/html")
+    (Http.Headers.get h "CONTENT-TYPE");
+  check_bool "mem" true (Http.Headers.mem h "CoNtEnT-tYpE")
+
+let test_headers_order_and_duplicates () =
+  let h =
+    Http.Headers.empty
+    |> fun h -> Http.Headers.add h "X-A" "1"
+    |> fun h -> Http.Headers.add h "X-B" "2"
+    |> fun h -> Http.Headers.add h "X-A" "3"
+  in
+  Alcotest.(check (list string)) "all values" [ "1"; "3" ]
+    (Http.Headers.get_all h "x-a");
+  Alcotest.(check (option string)) "first wins" (Some "1") (Http.Headers.get h "X-A");
+  check_int "length" 3 (Http.Headers.length h)
+
+let test_headers_replace_remove () =
+  let h = Http.Headers.of_list [ ("A", "1"); ("B", "2"); ("a", "3") ] in
+  let h' = Http.Headers.replace h "A" "9" in
+  Alcotest.(check (list string)) "replaced" [ "9" ] (Http.Headers.get_all h' "a");
+  let h'' = Http.Headers.remove h "a" in
+  check_bool "removed" false (Http.Headers.mem h'' "A")
+
+let test_headers_content_length () =
+  let h = Http.Headers.of_list [ ("Content-Length", " 42 ") ] in
+  Alcotest.(check (option int)) "parsed" (Some 42) (Http.Headers.content_length h);
+  let bad = Http.Headers.of_list [ ("Content-Length", "xyz") ] in
+  Alcotest.(check (option int)) "malformed" None (Http.Headers.content_length bad)
+
+(* ------------------------------------------------------------------ *)
+(* Uri *)
+
+let test_uri_parse_basic () =
+  let u = ok_or_fail "parse" (Http.Uri.parse "/a/b?x=1&y=2") in
+  check_string "path" "/a/b" u.Http.Uri.path;
+  Alcotest.(check (list (pair string string)))
+    "query"
+    [ ("x", "1"); ("y", "2") ]
+    u.Http.Uri.query
+
+let test_uri_parse_no_query () =
+  let u = ok_or_fail "parse" (Http.Uri.parse "/index.html") in
+  check_string "path" "/index.html" u.Http.Uri.path;
+  check_int "no params" 0 (List.length u.Http.Uri.query)
+
+let test_uri_percent_decoding () =
+  let u = ok_or_fail "parse" (Http.Uri.parse "/p%20q?k%3D=v%26w") in
+  check_string "path decoded" "/p q" u.Http.Uri.path;
+  Alcotest.(check (list (pair string string)))
+    "query decoded"
+    [ ("k=", "v&w") ]
+    u.Http.Uri.query
+
+let test_uri_plus_is_space () =
+  let u = ok_or_fail "parse" (Http.Uri.parse "/s?q=hello+world") in
+  Alcotest.(check (option string)) "plus" (Some "hello world")
+    (Http.Uri.query_get u "q")
+
+let test_uri_errors () =
+  check_bool "empty" true (Result.is_error (Http.Uri.parse ""));
+  check_bool "relative" true (Result.is_error (Http.Uri.parse "foo"));
+  check_bool "bad escape" true (Result.is_error (Http.Uri.parse "/a%zz"));
+  check_bool "truncated escape" true (Result.is_error (Http.Uri.parse "/a%2"))
+
+let test_uri_roundtrip () =
+  let cases = [ "/a/b?x=1&y=2"; "/p"; "/q?k=v"; "/deep/path/x?a=1&b=2&c=3" ] in
+  List.iter
+    (fun s ->
+      let u = ok_or_fail "parse" (Http.Uri.parse s) in
+      check_string ("roundtrip " ^ s) s (Http.Uri.to_string u))
+    cases
+
+let test_uri_encode_special () =
+  let u = { Http.Uri.path = "/a b"; query = [ ("k&", "v=w") ] } in
+  let s = Http.Uri.to_string u in
+  let u' = ok_or_fail "reparse" (Http.Uri.parse s) in
+  check_bool "roundtrip with escapes" true (Http.Uri.equal u u')
+
+let test_uri_canonical_sorts () =
+  let u = ok_or_fail "parse" (Http.Uri.parse "/s?b=2&a=1&b=1") in
+  let c = Http.Uri.canonical u in
+  Alcotest.(check (list (pair string string)))
+    "sorted by key then value"
+    [ ("a", "1"); ("b", "1"); ("b", "2") ]
+    c.Http.Uri.query;
+  check_string "path unchanged" "/s" c.Http.Uri.path
+
+let prop_uri_decode_encode =
+  QCheck.Test.make ~name:"percent_decode . percent_encode = id" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 30))
+    (fun s ->
+      match Http.Uri.percent_decode (Http.Uri.percent_encode s) with
+      | Ok s' -> String.equal s s'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Request *)
+
+let test_request_make_and_wire () =
+  let r = Http.Request.get "/cgi-bin/query?q=maps" in
+  let wire = Http.Request.to_wire r in
+  check_bool "request line" true
+    (String.length wire > 0
+    && String.sub wire 0 (String.length "GET /cgi-bin/query?q=maps HTTP/1.0")
+       = "GET /cgi-bin/query?q=maps HTTP/1.0")
+
+let test_request_parse_roundtrip () =
+  let r =
+    Http.Request.make
+      ~headers:(Http.Headers.of_list [ ("Host", "adl.ucsb.edu") ])
+      ~body:"payload" Http.Meth.Post "/submit?x=1"
+  in
+  let r' = ok_or_fail "parse" (Http.Request.parse (Http.Request.to_wire r)) in
+  check_bool "meth" true (Http.Meth.equal r.Http.Request.meth r'.Http.Request.meth);
+  check_bool "uri" true (Http.Uri.equal r.Http.Request.uri r'.Http.Request.uri);
+  check_string "body" "payload" r'.Http.Request.body;
+  Alcotest.(check (option string)) "host header" (Some "adl.ucsb.edu")
+    (Http.Headers.get r'.Http.Request.headers "host")
+
+let test_request_parse_bare_lf () =
+  let raw = "GET /x HTTP/1.0\nHost: h\n\n" in
+  let r = ok_or_fail "parse" (Http.Request.parse raw) in
+  check_string "path" "/x" r.Http.Request.uri.Http.Uri.path
+
+let test_request_parse_errors () =
+  check_bool "empty" true (Result.is_error (Http.Request.parse ""));
+  check_bool "bad line" true (Result.is_error (Http.Request.parse "GETX\r\n\r\n"));
+  check_bool "bad method" true
+    (Result.is_error (Http.Request.parse "BREW /x HTTP/1.0\r\n\r\n"));
+  check_bool "bad header" true
+    (Result.is_error (Http.Request.parse "GET /x HTTP/1.0\r\nnocolon\r\n\r\n"))
+
+let test_request_content_length_truncates () =
+  let raw = "POST /x HTTP/1.0\r\nContent-Length: 3\r\n\r\nabcdef" in
+  let r = ok_or_fail "parse" (Http.Request.parse raw) in
+  check_string "body truncated" "abc" r.Http.Request.body
+
+let test_request_make_invalid () =
+  Alcotest.check_raises "relative target"
+    (Invalid_argument "Request.make: request-URI must be absolute (start with '/')")
+    (fun () -> ignore (Http.Request.make Http.Meth.Get "nope"))
+
+let test_cache_key_param_order_insensitive () =
+  let a = Http.Request.get "/cgi?x=1&y=2" in
+  let b = Http.Request.get "/cgi?y=2&x=1" in
+  check_string "same key" (Http.Request.cache_key a) (Http.Request.cache_key b)
+
+let test_cache_key_distinguishes () =
+  let a = Http.Request.get "/cgi?x=1" in
+  let b = Http.Request.get "/cgi?x=2" in
+  let c = Http.Request.make Http.Meth.Head "/cgi?x=1" in
+  check_bool "different args" true
+    (Http.Request.cache_key a <> Http.Request.cache_key b);
+  check_bool "different method" true
+    (Http.Request.cache_key a <> Http.Request.cache_key c)
+
+let test_request_wire_size () =
+  let r = Http.Request.get "/x" in
+  check_int "wire size" (String.length (Http.Request.to_wire r))
+    (Http.Request.wire_size r)
+
+let prop_request_roundtrip =
+  let gen_path =
+    QCheck.Gen.(
+      map
+        (fun segs -> "/" ^ String.concat "/" segs)
+        (list_size (1 -- 3) (string_size ~gen:(char_range 'a' 'z') (1 -- 8))))
+  in
+  let gen_query =
+    QCheck.Gen.(
+      list_size (0 -- 3)
+        (pair
+           (string_size ~gen:(char_range 'a' 'z') (1 -- 5))
+           (string_size ~gen:(char_range '0' '9') (0 -- 5))))
+  in
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun path query ->
+          Http.Uri.to_string { Http.Uri.path; query })
+        gen_path gen_query)
+  in
+  QCheck.Test.make ~name:"request parse . to_wire = id" ~count:200
+    (QCheck.make gen) (fun target ->
+      let r = Http.Request.get target in
+      match Http.Request.parse (Http.Request.to_wire r) with
+      | Ok r' ->
+          Http.Uri.equal r.Http.Request.uri r'.Http.Request.uri
+          && Http.Meth.equal r.Http.Request.meth r'.Http.Request.meth
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Response *)
+
+let test_response_ok () =
+  let r = Http.Response.ok "<html/>" in
+  check_int "200" 200 (Http.Status.code r.Http.Response.status);
+  check_int "body size" 7 (Http.Response.body_size r)
+
+let test_response_wire_adds_content_length () =
+  let r = Http.Response.ok "abc" in
+  let wire = Http.Response.to_wire r in
+  let r' = ok_or_fail "parse" (Http.Response.parse wire) in
+  Alcotest.(check (option int)) "content-length" (Some 3)
+    (Http.Headers.content_length r'.Http.Response.headers);
+  check_string "body" "abc" r'.Http.Response.body
+
+let test_response_error_body () =
+  let r = Http.Response.error Http.Status.Not_found "/missing" in
+  check_bool "mentions path" true
+    (String.length r.Http.Response.body > 0
+    &&
+    let b = r.Http.Response.body in
+    let rec find i =
+      i + 8 <= String.length b
+      && (String.sub b i 8 = "/missing" || find (i + 1))
+    in
+    find 0)
+
+let test_response_parse_errors () =
+  check_bool "empty" true (Result.is_error (Http.Response.parse ""));
+  check_bool "bad code" true
+    (Result.is_error (Http.Response.parse "HTTP/1.0 abc Bad\r\n\r\n"));
+  check_bool "unknown code" true
+    (Result.is_error (Http.Response.parse "HTTP/1.0 418 Teapot\r\n\r\n"))
+
+let test_response_roundtrip () =
+  let r =
+    Http.Response.make
+      ~headers:(Http.Headers.of_list [ ("X-Cache", "HIT") ])
+      ~body:"data" Http.Status.Ok
+  in
+  let r' = ok_or_fail "parse" (Http.Response.parse (Http.Response.to_wire r)) in
+  check_string "body" "data" r'.Http.Response.body;
+  Alcotest.(check (option string)) "header" (Some "HIT")
+    (Http.Headers.get r'.Http.Response.headers "x-cache")
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "meth-status",
+        [
+          Alcotest.test_case "method roundtrip" `Quick test_meth_roundtrip;
+          Alcotest.test_case "method case sensitivity" `Quick test_meth_case_sensitive;
+          Alcotest.test_case "unknown method" `Quick test_meth_unknown;
+          Alcotest.test_case "status codes" `Quick test_status_codes;
+          Alcotest.test_case "status of_code" `Quick test_status_of_code;
+        ] );
+      ( "headers",
+        [
+          Alcotest.test_case "case-insensitive get" `Quick test_headers_case_insensitive;
+          Alcotest.test_case "order and duplicates" `Quick test_headers_order_and_duplicates;
+          Alcotest.test_case "replace and remove" `Quick test_headers_replace_remove;
+          Alcotest.test_case "content-length" `Quick test_headers_content_length;
+        ] );
+      ( "uri",
+        [
+          Alcotest.test_case "basic parse" `Quick test_uri_parse_basic;
+          Alcotest.test_case "no query" `Quick test_uri_parse_no_query;
+          Alcotest.test_case "percent decoding" `Quick test_uri_percent_decoding;
+          Alcotest.test_case "plus decodes to space" `Quick test_uri_plus_is_space;
+          Alcotest.test_case "malformed inputs" `Quick test_uri_errors;
+          Alcotest.test_case "roundtrip" `Quick test_uri_roundtrip;
+          Alcotest.test_case "special chars roundtrip" `Quick test_uri_encode_special;
+          Alcotest.test_case "canonical sorts query" `Quick test_uri_canonical_sorts;
+        ] );
+      qsuite "uri-props" [ prop_uri_decode_encode ];
+      ( "request",
+        [
+          Alcotest.test_case "make + wire format" `Quick test_request_make_and_wire;
+          Alcotest.test_case "parse roundtrip" `Quick test_request_parse_roundtrip;
+          Alcotest.test_case "bare-LF tolerated" `Quick test_request_parse_bare_lf;
+          Alcotest.test_case "parse errors" `Quick test_request_parse_errors;
+          Alcotest.test_case "content-length truncates" `Quick
+            test_request_content_length_truncates;
+          Alcotest.test_case "invalid make raises" `Quick test_request_make_invalid;
+          Alcotest.test_case "cache key ignores param order" `Quick
+            test_cache_key_param_order_insensitive;
+          Alcotest.test_case "cache key distinguishes" `Quick test_cache_key_distinguishes;
+          Alcotest.test_case "wire size" `Quick test_request_wire_size;
+        ] );
+      qsuite "request-props" [ prop_request_roundtrip ];
+      ( "response",
+        [
+          Alcotest.test_case "ok constructor" `Quick test_response_ok;
+          Alcotest.test_case "wire adds content-length" `Quick
+            test_response_wire_adds_content_length;
+          Alcotest.test_case "error body" `Quick test_response_error_body;
+          Alcotest.test_case "parse errors" `Quick test_response_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_response_roundtrip;
+        ] );
+    ]
