@@ -465,6 +465,50 @@ let bench_ablation_loss () =
     rows;
   emit t
 
+let bench_ablation_faults () =
+  let rows = Swala.Experiments.ablation_faults ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A8. Injected faults: drop-rate x crash-frequency with 0.5 s \
+         fetch timeout, 2 retries (4 nodes, Table-5 workload)."
+      ~columns:
+        [
+          ("Drop", Metrics.Table.Right);
+          ("MTBF (s)", Metrics.Table.Right);
+          ("Hits", Metrics.Table.Right);
+          ("% of UB", Metrics.Table.Right);
+          ("Timeouts", Metrics.Table.Right);
+          ("Retries", Metrics.Table.Right);
+          ("Crashes", Metrics.Table.Right);
+          ("503s", Metrics.Table.Right);
+          ("Purges", Metrics.Table.Right);
+          ("Msgs lost", Metrics.Table.Right);
+          ("Mean response (s)", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.fault_row) ->
+      Metrics.Table.add_row t
+        [
+          Metrics.Table.fmt_pct r.Swala.Experiments.drop_f;
+          (if r.Swala.Experiments.mtbf_f = 0. then "-"
+           else Printf.sprintf "%g" r.Swala.Experiments.mtbf_f);
+          Metrics.Table.fmt_i r.Swala.Experiments.hits_f;
+          Metrics.Table.fmt_pct
+            (float_of_int r.Swala.Experiments.hits_f
+            /. float_of_int (Stdlib.max 1 r.Swala.Experiments.upper_f));
+          Metrics.Table.fmt_i r.Swala.Experiments.timeouts_f;
+          Metrics.Table.fmt_i r.Swala.Experiments.retries_f;
+          Metrics.Table.fmt_i r.Swala.Experiments.crashes_f;
+          Metrics.Table.fmt_i r.Swala.Experiments.rejected_f;
+          Metrics.Table.fmt_i r.Swala.Experiments.purged_f;
+          Metrics.Table.fmt_i r.Swala.Experiments.net_lost_f;
+          sec r.Swala.Experiments.mean_response_f;
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -564,6 +608,7 @@ let all_targets =
     ("ablation-routing", bench_ablation_routing);
     ("ablation-threshold", bench_ablation_threshold);
     ("ablation-loss", bench_ablation_loss);
+    ("ablation-faults", bench_ablation_faults);
     ("micro", run_micro);
   ]
 

@@ -87,6 +87,68 @@ let rules_t =
     & info [ "rules" ] ~docv:"FILE"
         ~doc:"Administrator cacheability rules file (see Swala.Rules).")
 
+(* Fault-profile options (see Sim.Fault). *)
+
+let drop_rate_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "drop-rate" ] ~docv:"P"
+        ~doc:
+          "Probability that an inter-node protocol message is dropped \
+           (fault injection; requires $(b,--fetch-timeout)).")
+
+let delay_rate_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "delay-rate" ] ~docv:"P"
+        ~doc:"Probability that a protocol message is delayed extra.")
+
+let delay_mean_t =
+  Arg.(
+    value & opt float 0.05
+    & info [ "delay-mean" ] ~docv:"SEC"
+        ~doc:"Mean extra delay for delayed messages (exponential).")
+
+let crash_mtbf_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "crash-mtbf" ] ~docv:"SEC"
+        ~doc:
+          "Mean time between node failures; enables crash/restart \
+           injection (requires $(b,--fetch-timeout)).")
+
+let crash_mttr_t =
+  Arg.(
+    value & opt float 2.
+    & info [ "crash-mttr" ] ~docv:"SEC"
+        ~doc:"Mean time to repair a crashed node.")
+
+let fault_horizon_t =
+  Arg.(
+    value & opt float 600.
+    & info [ "fault-horizon" ] ~docv:"SEC"
+        ~doc:"Crash schedules are generated within [0, horizon).")
+
+let fetch_timeout_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "fetch-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Remote-fetch timeout; on expiry the node retries then falls \
+           back to local CGI execution.")
+
+let fetch_retries_t =
+  Arg.(
+    value & opt int 0
+    & info [ "fetch-retries" ] ~docv:"N"
+        ~doc:"Remote-fetch retransmissions before falling back locally.")
+
+let fetch_backoff_t =
+  Arg.(
+    value & opt float 2.
+    & info [ "fetch-backoff" ] ~docv:"F"
+        ~doc:"Multiplier applied to the fetch timeout on each retry.")
+
 let trace_of_workload ~workload ~seed ~requests =
   match workload with
   | "adl" -> Ok (Workload.Synthetic.adl_scaled ~seed ~n:requests)
@@ -102,7 +164,8 @@ let trace_of_workload ~workload ~seed ~requests =
 (* run *)
 
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
-    router rules_file =
+    router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
+    fault_horizon fetch_timeout fetch_retries fetch_backoff =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -118,10 +181,29 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                 Printf.eprintf "%s: %s\n" path e;
                 exit 2)
       in
+      let fault =
+        if drop_rate = 0. && delay_rate = 0. && crash_mtbf = None then None
+        else
+          Some
+            (Sim.Fault.make ~drop:drop_rate ~delay:delay_rate ~delay_mean
+               ?node:
+                 (Option.map
+                    (fun mtbf -> { Sim.Fault.mtbf; mttr = crash_mttr })
+                    crash_mtbf)
+               ~horizon:fault_horizon ())
+      in
       let cfg =
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
-          ~cache_capacity:capacity ~rules ~seed ()
+          ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
+          ~fetch_backoff ~seed ()
       in
+      (* Validation otherwise happens inside the run; surface bad flag
+         combinations (e.g. faults without --fetch-timeout) as a clean
+         error instead of a backtrace. *)
+      (try Swala.Config.validate cfg
+       with Invalid_argument msg ->
+         prerr_endline msg;
+         exit 2);
       let result =
         Swala.Cluster_runner.run cfg ~trace ~n_streams:streams ~router ()
       in
@@ -135,6 +217,17 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
         (Swala.Config.cache_mode_to_string mode)
         (Cache.Policy.to_string policy)
         capacity streams seed;
+      (match fault with
+      | None -> ()
+      | Some _ ->
+          Printf.printf
+            "fault profile             drop=%.3f delay=%.3f/%.3fs mtbf=%s \
+             mttr=%.1fs horizon=%.0fs (messages lost: %d)\n"
+            drop_rate delay_rate delay_mean
+            (match crash_mtbf with
+            | None -> "-"
+            | Some m -> Printf.sprintf "%.1fs" m)
+            crash_mttr fault_horizon result.Swala.Cluster_runner.net_lost);
       Printf.printf "simulated makespan        %.2f s\n"
         result.Swala.Cluster_runner.duration;
       Printf.printf "mean response time        %.4f s\n"
@@ -167,7 +260,9 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run_cmd_impl $ seed_t $ nodes_t $ mode_t $ policy_t $ capacity_t
-      $ streams_t $ requests_t $ workload_t $ router_t $ rules_t)
+      $ streams_t $ requests_t $ workload_t $ router_t $ rules_t $ drop_rate_t
+      $ delay_rate_t $ delay_mean_t $ crash_mtbf_t $ crash_mttr_t
+      $ fault_horizon_t $ fetch_timeout_t $ fetch_retries_t $ fetch_backoff_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -226,6 +321,7 @@ let list_cmd =
               "  ablation-routing      routing policy x cache mode";
               "  ablation-threshold    caching threshold x capacity";
               "  ablation-loss         message loss + timeout recovery";
+              "  ablation-faults       drop-rate x crash-frequency degradation";
               "  micro                 Bechamel kernel micro-benchmarks";
             ])
       $ const ())

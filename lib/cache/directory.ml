@@ -129,6 +129,21 @@ let delete t ~node key =
       end
       else false)
 
+let purge_node t ~node =
+  check_node t node;
+  let tbl = t.tables.(node) in
+  with_table_wr t tbl (fun () ->
+      let n = Hashtbl.length tbl.entries in
+      Hashtbl.reset tbl.entries;
+      n)
+
+let reset_node t ~node =
+  check_node t node;
+  let tbl = t.tables.(node) in
+  let n = Hashtbl.length tbl.entries in
+  Hashtbl.reset tbl.entries;
+  n
+
 let touch t ~node key ~now =
   check_node t node;
   let tbl = t.tables.(node) in

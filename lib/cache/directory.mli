@@ -55,6 +55,19 @@ val insert : t -> node:int -> Meta.t -> unit
     was present. *)
 val delete : t -> node:int -> string -> bool
 
+(** [purge_node t ~node] empties [node]'s table under its write lock,
+    charging lock overhead like any other update; returns how many entries
+    were dropped. This is the lazy repair path of the failure model: when a
+    peer stops answering fetches, the requester discards its replica of
+    that peer's table wholesale rather than waiting for delete broadcasts
+    that will never come. Must run inside a simulated process. *)
+val purge_node : t -> node:int -> int
+
+(** [reset_node t ~node] is {!purge_node} without locks or simulated
+    charges, for use from plain event callbacks (a crashing node wiping its
+    own table is a failure event, not simulated work). *)
+val reset_node : t -> node:int -> int
+
 (** [touch t ~node key ~now] updates nothing structural but lets the owner
     bump meta statistics after a fetch; present for symmetry with §4.1
     ("the cache manager on the node that owns the item updates meta-data

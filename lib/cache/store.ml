@@ -248,6 +248,13 @@ let purge_expired t =
       slot.entry.meta)
     victims
 
+let clear t =
+  let n = Hashtbl.length t.table in
+  let victims = Hashtbl.fold (fun _ slot acc -> slot :: acc) t.table [] in
+  List.iter (fun slot -> delete_slot t slot) victims;
+  Sim.Pqueue.clear t.heap;
+  n
+
 let mem t key = match peek t key with Some _ -> true | None -> false
 let length t = Hashtbl.length t.table
 let capacity t = t.capacity

@@ -51,6 +51,12 @@ val remove_matching : t -> (string -> bool) -> Meta.t list
     module's third daemon thread); returns their metas. *)
 val purge_expired : t -> Meta.t list
 
+(** [clear t] drops every entry at once, returning how many were held.
+    This models losing the cache wholesale (a node crash): unlike
+    {!remove_matching} it does not enumerate victims, and it counts
+    neither evictions nor expirations. *)
+val clear : t -> int
+
 val mem : t -> string -> bool
 val length : t -> int
 val capacity : t -> int

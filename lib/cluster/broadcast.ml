@@ -37,3 +37,19 @@ let fetch net endpoints ~src ~owner req =
       Sim.Net.send net ~src ~dst:owner
         ~bytes:(Msg.fetch_request_bytes req)
         ep.Endpoint.data_mb req
+
+let fetch_sync net endpoints ~src ~owner ~timeout ~retries ~backoff key =
+  if timeout <= 0. then invalid_arg "Broadcast.fetch_sync: timeout must be > 0";
+  if retries < 0 then invalid_arg "Broadcast.fetch_sync: retries must be >= 0";
+  if backoff < 1. then invalid_arg "Broadcast.fetch_sync: backoff must be >= 1";
+  let rec attempt n timeout =
+    (* A fresh reply mailbox per attempt: a reply to an abandoned attempt
+       must not satisfy a later one out of order. *)
+    let reply = Sim.Mailbox.create () in
+    fetch net endpoints ~src ~owner { Msg.key; requester = src; reply };
+    match Sim.Mailbox.recv_timeout reply ~timeout with
+    | Some r -> (Some r, n)
+    | None -> if n < retries then attempt (n + 1) (timeout *. backoff)
+              else (None, n)
+  in
+  attempt 0 timeout

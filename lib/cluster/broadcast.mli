@@ -24,3 +24,21 @@ val info_sync :
 val fetch :
   Sim.Net.t -> Endpoint.t array -> src:int -> owner:int ->
   Msg.fetch_request -> unit
+
+(** [fetch_sync net endpoints ~src ~owner ~timeout ~retries ~backoff key]
+    is the blocking data-server round-trip with bounded retry: it sends a
+    fetch request and waits up to [timeout] simulated seconds for the
+    reply; on timeout it retries with the timeout multiplied by [backoff]
+    (exponential backoff), up to [retries] additional attempts. Returns
+    [(reply, n)] where [n] is the number of retries actually performed;
+    [reply] is [None] when every attempt timed out — the caller's cue to
+    fall back to local CGI execution (the paper's false-hit path, §4.2,
+    now also reachable through message loss or a crashed owner).
+
+    Requires [timeout > 0], [retries >= 0], [backoff >= 1]. Each attempt
+    uses a fresh reply mailbox, so a straggling reply to an abandoned
+    attempt is ignored rather than mistaken for the current one. Must run
+    in a process. *)
+val fetch_sync :
+  Sim.Net.t -> Endpoint.t array -> src:int -> owner:int -> timeout:float ->
+  retries:int -> backoff:float -> string -> Msg.fetch_reply option * int

@@ -8,4 +8,5 @@ type t = {
   data_mb : Msg.fetch_request Sim.Mailbox.t;  (** consumed by the data server *)
 }
 
+(** [make ~node] allocates fresh mailboxes for [node]'s daemons. *)
 val make : node:int -> t

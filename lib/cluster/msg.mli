@@ -28,14 +28,21 @@ type fetch_reply =
   | Hit of { meta : Cache.Meta.t; body : string }
   | Miss of { key : string }
 
+(** A remote-cache fetch, sent to the owner's data server. The reply
+    arrives in [reply]; under a fetch timeout the requester may abandon
+    the mailbox and retransmit with a fresh one. *)
 type fetch_request = {
   key : string;
-  requester : int;
+  requester : int;  (** endpoint id awaiting the reply *)
   reply : fetch_reply Sim.Mailbox.t;
 }
 
 (** Approximate wire sizes, used to charge the network model. *)
 val info_bytes : info -> int
 
+(** [fetch_request_bytes r] is the request's approximate wire size. *)
 val fetch_request_bytes : fetch_request -> int
+
+(** [fetch_reply_bytes r] is the reply's approximate wire size ([Hit]
+    includes the cached body). *)
 val fetch_reply_bytes : fetch_reply -> int

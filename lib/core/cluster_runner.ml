@@ -11,6 +11,7 @@ type result = {
   utilisation : float array;
   dir_locks : int * int;
   store_stats : Cache.Stats.t;
+  net_lost : int;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -117,6 +118,7 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
              (Cache.Store.stats (Server.node_store (Server.node cluster i)))
        done;
        !acc);
+    net_lost = Sim.Net.messages_lost (Server.net cluster);
   }
 
 let default_registry trace =

@@ -21,6 +21,9 @@ type result = {
   dir_locks : int * int;
       (** (read, write) directory lock acquisitions summed over nodes *)
   store_stats : Cache.Stats.t;  (** local-store statistics merged over nodes *)
+  net_lost : int;
+      (** protocol messages dropped by the network (uniform loss and the
+          fault plan combined); [0] on a healthy run *)
 }
 
 val mean_response : result -> float

@@ -81,6 +81,9 @@ type t = {
   net_bandwidth : float;
   net_loss : float;
   fetch_timeout : float option;
+  fetch_retries : int;
+  fetch_backoff : float;
+  fault : Sim.Fault.profile option;
   broadcast_latency : float option;
   fs_cache_hit : float;
   seed : int;
@@ -113,6 +116,9 @@ let default =
     net_bandwidth = 12.5e6;
     net_loss = 0.;
     fetch_timeout = None;
+    fetch_retries = 0;
+    fetch_backoff = 2.;
+    fault = None;
     broadcast_latency = None;
     fs_cache_hit = 0.95;
     seed = 42;
@@ -138,6 +144,8 @@ let make ?(n_nodes = default.n_nodes)
     ?(net_latency = default.net_latency)
     ?(net_bandwidth = default.net_bandwidth) ?(net_loss = default.net_loss)
     ?(fetch_timeout = default.fetch_timeout)
+    ?(fetch_retries = default.fetch_retries)
+    ?(fetch_backoff = default.fetch_backoff) ?(fault = default.fault)
     ?(broadcast_latency = default.broadcast_latency)
     ?(fs_cache_hit = default.fs_cache_hit) ?(seed = default.seed) () =
   {
@@ -166,6 +174,9 @@ let make ?(n_nodes = default.n_nodes)
     net_bandwidth;
     net_loss;
     fetch_timeout;
+    fetch_retries;
+    fetch_backoff;
+    fault;
     broadcast_latency;
     fs_cache_hit;
     seed;
@@ -192,15 +203,23 @@ let validate t =
   | Some d -> check (d >= 0.) "broadcast_latency must be >= 0"
   | None -> ());
   check (t.net_loss >= 0. && t.net_loss <= 1.) "net_loss must be in [0,1]";
+  check (t.fetch_retries >= 0) "fetch_retries must be >= 0";
+  check (t.fetch_backoff >= 1.) "fetch_backoff must be >= 1";
+  (match t.fault with Some p -> Sim.Fault.validate p | None -> ());
+  let lossy =
+    t.net_loss > 0.
+    || match t.fault with Some p -> Sim.Fault.is_lossy p | None -> false
+  in
   (match t.fetch_timeout with
   | Some d -> check (d > 0.) "fetch_timeout must be positive"
   | None ->
-      check (t.net_loss = 0.)
-        "net_loss > 0 requires a fetch_timeout (lost replies would wedge \
-         request threads)");
+      check (not lossy)
+        "message loss or node crashes require a fetch_timeout (lost \
+         replies would wedge request threads)");
   if t.consistency = Strong then
-    check (t.net_loss = 0.)
-      "the strong protocol has no ack retransmission; net_loss must be 0";
+    check (not lossy)
+      "the strong protocol has no ack retransmission; it tolerates neither \
+       net_loss nor a lossy fault profile";
   check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
   check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
   check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";

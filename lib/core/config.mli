@@ -84,6 +84,19 @@ type t = {
       (** how long a request thread waits for a remote-fetch reply before
           giving up and executing the CGI locally ([None] = forever, safe
           only on a loss-free network) *)
+  fetch_retries : int;
+      (** how many times a timed-out remote fetch is retried before the
+          node falls back to local execution (default [0]: fail over
+          immediately, the pre-retry behaviour) *)
+  fetch_backoff : float;
+      (** multiplier applied to the fetch timeout on each retry
+          (exponential backoff; [>= 1], default [2.]) *)
+  fault : Sim.Fault.profile option;
+      (** fault-injection plan: per-link message drop/delay and per-node
+          crash/restart behaviour, instantiated deterministically from
+          [seed]. [None] (the default) leaves the fault layer entirely out
+          of the run. A lossy profile requires [fetch_timeout], and the
+          [Strong] protocol (no ack retransmission) tolerates no faults *)
   broadcast_latency : float option;
       (** if set, directory-update broadcasts are delivered after this
           delay instead of the network latency — models slow or batched
@@ -123,6 +136,9 @@ val make :
   ?net_bandwidth:float ->
   ?net_loss:float ->
   ?fetch_timeout:float option ->
+  ?fetch_retries:int ->
+  ?fetch_backoff:float ->
+  ?fault:Sim.Fault.profile option ->
   ?broadcast_latency:float option ->
   ?fs_cache_hit:float ->
   ?seed:int ->

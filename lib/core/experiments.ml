@@ -570,3 +570,61 @@ let ablation_consistency ?(seed = default_seed)
         hits_c = r.Cluster_runner.hits;
       })
     latencies
+
+type fault_row = {
+  drop_f : float;
+  mtbf_f : float;
+  hits_f : int;
+  upper_f : int;
+  timeouts_f : int;
+  retries_f : int;
+  crashes_f : int;
+  rejected_f : int;
+  purged_f : int;
+  net_lost_f : int;
+  mean_response_f : float;
+}
+
+let ablation_faults ?(seed = default_seed) ?(drops = [ 0.0; 0.05; 0.2 ])
+    ?(mtbfs = [ 0.; 60.; 15. ]) ?(nodes = 4) () =
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08 ()
+  in
+  let upper = Workload.Analyzer.upper_bound_hits trace in
+  List.concat_map
+    (fun drop ->
+      List.map
+        (fun mtbf ->
+          (* mtbf = 0 means "no crashes"; a 2 s repair keeps churn high
+             enough that restarts also happen within the run. *)
+          let node =
+            if mtbf > 0. then Some { Sim.Fault.mtbf; mttr = 2.0 } else None
+          in
+          let fault = Sim.Fault.make ~drop ?node ~horizon:600. () in
+          let cfg =
+            Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+              ~fault:(Some fault) ~fetch_timeout:(Some 0.5) ~fetch_retries:2
+              ~fetch_backoff:2.0 ~seed ()
+          in
+          (* Route via the front-end so requests fail over around down
+             nodes (Per_stream keeps the paper's pinning while healthy). *)
+          let r =
+            Cluster_runner.run cfg ~trace ~n_streams:16
+              ~router:Router.Per_stream ()
+          in
+          let get = Metrics.Counter.get r.Cluster_runner.counters in
+          {
+            drop_f = drop;
+            mtbf_f = mtbf;
+            hits_f = r.Cluster_runner.hits;
+            upper_f = upper;
+            timeouts_f = get Server.K.fetch_timeouts;
+            retries_f = get Server.K.fetch_retries;
+            crashes_f = get Server.K.crashes;
+            rejected_f = get Server.K.rejected_down;
+            purged_f = get Server.K.dir_suspect_purged;
+            net_lost_f = r.Cluster_runner.net_lost;
+            mean_response_f = Cluster_runner.mean_response r;
+          })
+        mtbfs)
+    drops

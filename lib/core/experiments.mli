@@ -214,3 +214,28 @@ type loss_row = {
     complete, hits erode as replicas diverge. *)
 val ablation_loss :
   ?seed:int -> ?losses:float list -> ?nodes:int -> unit -> loss_row list
+
+(** {1 A8 — ablation: injected faults (drop-rate × crash-frequency)} *)
+
+type fault_row = {
+  drop_f : float;  (** per-link message drop probability *)
+  mtbf_f : float;  (** mean time between node failures (s); [0.] = none *)
+  hits_f : int;
+  upper_f : int;  (** offline upper bound on hits for this trace *)
+  timeouts_f : int;  (** fetches that exhausted their retries *)
+  retries_f : int;  (** fetch retransmissions performed *)
+  crashes_f : int;
+  rejected_f : int;  (** requests refused with 503 by a down node *)
+  purged_f : int;  (** suspect directory-table purges *)
+  net_lost_f : int;  (** messages the fault plan discarded *)
+  mean_response_f : float;
+}
+
+(** [ablation_faults ()] sweeps the drop-rate × crash-frequency grid of
+    the fault-injection plan over the cooperative protocol (bounded fetch
+    retries, local-execution fallback, suspect-table purge on timeout).
+    The degradation is graceful: every request completes, the hit ratio
+    erodes towards local-only as faults intensify. *)
+val ablation_faults :
+  ?seed:int -> ?drops:float list -> ?mtbfs:float list -> ?nodes:int ->
+  unit -> fault_row list

@@ -23,23 +23,43 @@ let fnv1a s =
     s;
   !h
 
+(* The front-end notices dead back-ends (a real dispatcher's connect
+   fails), so a pick landing on a down node fails over to the next node
+   up. When every node is down the original pick stands and the request
+   is answered 503. Healthy clusters never enter the scan. *)
+let steer cluster node =
+  if Server.node_up (Server.node cluster node) then node
+  else
+    let n = Server.n_nodes cluster in
+    let rec scan k =
+      if k >= n then node
+      else
+        let cand = (node + k) mod n in
+        if Server.node_up (Server.node cluster cand) then cand
+        else scan (k + 1)
+    in
+    scan 1
+
 let pick t cluster ~stream req =
   let n = Server.n_nodes cluster in
-  match t.policy with
-  | Per_stream -> stream mod n
-  | Round_robin ->
-      let node = t.next mod n in
-      t.next <- t.next + 1;
-      node
-  | Least_active ->
-      let best = ref 0 in
-      let best_load = ref max_int in
-      for i = 0 to n - 1 do
-        let load = Server.node_active (Server.node cluster i) in
-        if load < !best_load then begin
-          best := i;
-          best_load := load
-        end
-      done;
-      !best
-  | Key_affinity -> fnv1a (Http.Request.cache_key req) mod n
+  let node =
+    match t.policy with
+    | Per_stream -> stream mod n
+    | Round_robin ->
+        let node = t.next mod n in
+        t.next <- t.next + 1;
+        node
+    | Least_active ->
+        let best = ref 0 in
+        let best_load = ref max_int in
+        for i = 0 to n - 1 do
+          let load = Server.node_active (Server.node cluster i) in
+          if load < !best_load then begin
+            best := i;
+            best_load := load
+          end
+        done;
+        !best
+    | Key_affinity -> fnv1a (Http.Request.cache_key req) mod n
+  in
+  steer cluster node

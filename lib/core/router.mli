@@ -21,5 +21,11 @@ type t
 val create : policy -> t
 
 (** [pick t cluster ~stream req] chooses the target node. Deterministic
-    for every policy ([Least_active] ties break on the lowest node id). *)
+    for every policy ([Least_active] ties break on the lowest node id).
+
+    When fault injection has crashed the chosen node, the pick fails over
+    to the next node that is up (scanning node ids cyclically), modelling
+    a front-end that notices dead back-ends; only when the whole cluster
+    is down does the original pick stand, and the node answers 503. On a
+    healthy cluster the failover scan never runs. *)
 val pick : t -> Server.cluster -> stream:int -> Http.Request.t -> int

@@ -20,6 +20,11 @@ module K = struct
   let invalidations = "invalidations"
   let acks_sent = "acks_sent"
   let fetch_timeouts = "fetch_timeouts"
+  let fetch_retries = "fetch_retries"
+  let crashes = "crashes"
+  let restarts = "restarts"
+  let rejected_down = "rejected_down"
+  let dir_suspect_purged = "dir_suspect_purged"
 end
 
 type env = {
@@ -40,6 +45,7 @@ type t = {
   counters : Metrics.Counter.t;
   in_flight : (string, int) Hashtbl.t;  (* CGI keys being executed *)
   mutable active : int;  (* requests currently being handled *)
+  mutable up : bool;  (* false while crashed (fault injection) *)
   mutable stop : bool;
 }
 
@@ -50,6 +56,9 @@ type cluster = {
   registry : Cgi.Registry.t;
   nodes : t array;
   endpoints : Cluster.Endpoint.t array;
+  fault : Sim.Fault.t option;
+  mutable fault_handles : Sim.Engine.handle list;
+      (* pending crash/restart events, cancelled by [stop] *)
 }
 
 let engine c = c.engine
@@ -76,13 +85,26 @@ let total_hits c =
   let m = merged_counters c in
   Metrics.Counter.get m K.hit_local + Metrics.Counter.get m K.hit_remote
 
+(* The fault plan draws from its own generator (derived from the seed, not
+   split off [root]) so that attaching a plan leaves every other random
+   stream — and therefore every fault-free aspect of the run — unchanged. *)
+let fault_seed_salt = 0x5DEECE66
+
 let create_cluster engine cfg ~registry ~n_client_endpoints =
   Config.validate cfg;
   let root = Sim.Rng.create cfg.Config.seed in
+  let fault =
+    Option.map
+      (fun profile ->
+        Sim.Fault.create profile
+          ~rng:(Sim.Rng.create (cfg.Config.seed lxor fault_seed_salt))
+          ~nodes:cfg.Config.n_nodes)
+      cfg.Config.fault
+  in
   let net =
     Sim.Net.create ~latency:cfg.Config.net_latency
       ~bandwidth:cfg.Config.net_bandwidth ~loss:cfg.Config.net_loss
-      ~rng:(Sim.Rng.split root) engine
+      ~rng:(Sim.Rng.split root) ?fault engine
       ~n_endpoints:(cfg.Config.n_nodes + n_client_endpoints)
   in
   let nodes =
@@ -114,11 +136,12 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
           counters = Metrics.Counter.create ();
           in_flight = Hashtbl.create 64;
           active = 0;
+          up = true;
           stop = false;
         })
   in
   let endpoints = Array.map (fun nd -> nd.endpoint) nodes in
-  { engine; net; cfg; registry; nodes; endpoints }
+  { engine; net; cfg; registry; nodes; endpoints; fault; fault_handles = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Response helpers *)
@@ -319,20 +342,40 @@ let serve_local c nd env (entry : Cache.Store.entry) =
 let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
     (meta : Cache.Meta.t) =
   Sim.Cpu.consume nd.cpu c.cfg.Config.remote_fetch_cost;
-  let reply = Sim.Mailbox.create () in
-  Cluster.Broadcast.fetch c.net c.endpoints ~src:nd.id
-    ~owner:meta.Cache.Meta.owner
-    { Cluster.Msg.key; requester = nd.id; reply };
+  let owner = meta.Cache.Meta.owner in
   let answer =
     match c.cfg.Config.fetch_timeout with
-    | None -> Some (Sim.Mailbox.recv reply)
-    | Some timeout -> Sim.Mailbox.recv_timeout reply ~timeout
+    | None ->
+        let reply = Sim.Mailbox.create () in
+        Cluster.Broadcast.fetch c.net c.endpoints ~src:nd.id ~owner
+          { Cluster.Msg.key; requester = nd.id; reply };
+        Some (Sim.Mailbox.recv reply)
+    | Some timeout ->
+        let reply, retries =
+          Cluster.Broadcast.fetch_sync c.net c.endpoints ~src:nd.id ~owner
+            ~timeout ~retries:c.cfg.Config.fetch_retries
+            ~backoff:c.cfg.Config.fetch_backoff key
+        in
+        if retries > 0 then
+          Metrics.Counter.add nd.counters K.fetch_retries retries;
+        reply
   in
   match answer with
   | None ->
       (* Request or reply lost (or owner unreachable): give up on the
          remote copy and execute locally, like a false hit. *)
       incr nd K.fetch_timeouts;
+      (* Under fault injection a fetch that survives every retry marks the
+         owner as suspect — most likely crashed or partitioned. Drop our
+         replica of its whole directory table: its entries could only
+         produce more timed-out fetches, and if the owner is alive it will
+         re-announce whatever it still caches as requests repopulate it. *)
+      (match c.fault with
+      | Some _ ->
+          let purged = Cache.Directory.purge_node nd.dir ~node:owner in
+          if purged > 0 then
+            Metrics.Counter.add nd.counters K.dir_suspect_purged purged
+      | None -> ());
       exec_and_respond c nd env script key ~ctl
   | Some (Cluster.Msg.Hit { body; _ }) ->
       incr nd K.hit_remote;
@@ -379,6 +422,14 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
 
 let handle c nd env =
   incr nd K.requests;
+  if not nd.up then begin
+    (* The node is crashed; the connection front-end answers on its behalf
+       with 503 rather than letting the client hang. *)
+    incr nd K.rejected_down;
+    respond c nd env
+      (Http.Response.error Http.Status.Service_unavailable "node down")
+  end
+  else begin
   let active_at_arrival = nd.active in
   nd.active <- nd.active + 1;
   let model = c.cfg.Config.model in
@@ -400,6 +451,7 @@ let handle c nd env =
       respond c nd env (file_response bytes)
   | Some (Cgi.Registry.Cgi_script script) -> handle_cgi c nd env script);
   nd.active <- nd.active - 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Daemons (the cacher module's three threads, §4.1) *)
@@ -415,6 +467,8 @@ let request_thread c nd =
 let info_daemon c nd =
   let rec loop () =
     let envelope = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.info_mb in
+    if not nd.up then loop ()  (* in flight across the crash instant: lost *)
+    else begin
     Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
     incr nd K.info_applied;
     (match envelope.Cluster.Msg.info with
@@ -428,12 +482,15 @@ let info_daemon c nd =
         Sim.Net.send c.net ~src:nd.id ~dst:sender ~bytes:32 ack ()
     | None -> ());
     loop ()
+    end
   in
   loop ()
 
 let data_server c nd =
   let rec loop () =
     let fetch = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.data_mb in
+    if not nd.up then loop ()  (* crashed owner: requester's fetch times out *)
+    else begin
     (* One thread per fetch, as in §4.1. *)
     Sim.Engine.spawn_child (fun () ->
         Sim.Cpu.consume nd.cpu c.cfg.Config.data_server_cost;
@@ -450,8 +507,42 @@ let data_server c nd =
           ~bytes:(Cluster.Msg.fetch_reply_bytes reply_msg)
           fetch.Cluster.Msg.reply reply_msg);
     loop ()
+    end
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Node crash and restart (fault injection).
+
+   A crash is fail-stop with total cache-state loss: the store, the node's
+   own directory table and the in-flight bookkeeping are wiped, and while
+   down the node neither answers fetches nor applies directory updates
+   (the network additionally drops its traffic). Requests already being
+   processed run to completion — the simulator models losing the cache,
+   not killing OS processes mid-request; this only makes the measured
+   degradation an underestimate.
+
+   A restart is cold: the node rejoins with empty tables and re-announces
+   entries one by one as it repopulates (each insert broadcasts, exactly
+   like a first boot) — the weak-consistency repair story, with no global
+   resynchronisation. Peers may still hold stale entries owned by the
+   crashed node; those are repaired lazily, either by the suspect purge on
+   fetch-timeout exhaustion or by a Miss reply after the restart. *)
+
+let crash nd =
+  if nd.up then begin
+    nd.up <- false;
+    incr nd K.crashes;
+    ignore (Cache.Store.clear nd.store : int);
+    ignore (Cache.Directory.reset_node nd.dir ~node:nd.id : int);
+    Hashtbl.reset nd.in_flight
+  end
+
+let restart nd =
+  if not nd.up then begin
+    nd.up <- true;
+    incr nd K.restarts
+  end
 
 let purge_daemon c nd =
   let rec loop () =
@@ -490,9 +581,35 @@ let start c =
           Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
           Sim.Engine.spawn c.engine (fun () -> data_server c nd);
           Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd))
-    c.nodes
+    c.nodes;
+  (* Schedule the fault plan's crash/restart instants as plain events; the
+     handles are kept so [stop] can cancel whatever has not yet fired. *)
+  match c.fault with
+  | None -> ()
+  | Some f ->
+      let now = Sim.Engine.current_time c.engine in
+      Array.iter
+        (fun nd ->
+          List.iter
+            (fun (down_at, up_at) ->
+              if down_at >= now then
+                c.fault_handles <-
+                  Sim.Engine.schedule_at c.engine down_at (fun () -> crash nd)
+                  :: c.fault_handles;
+              if up_at >= now then
+                c.fault_handles <-
+                  Sim.Engine.schedule_at c.engine up_at (fun () -> restart nd)
+                  :: c.fault_handles)
+            (Sim.Fault.schedule f ~node:nd.id))
+        c.nodes
 
-let stop c = Array.iter (fun nd -> nd.stop <- true) c.nodes
+let stop c =
+  Array.iter (fun nd -> nd.stop <- true) c.nodes;
+  (* Cancel pending crash/restart events: without this a fault plan whose
+     horizon outlives the workload would keep the engine ticking long after
+     the last client finished. *)
+  List.iter Sim.Engine.cancel c.fault_handles;
+  c.fault_handles <- []
 
 let submit c ~client ~node req =
   if node < 0 || node >= Array.length c.nodes then
@@ -569,3 +686,5 @@ let invalidate_script c ~script =
   delete_everywhere c pred
 
 let node_active nd = nd.active
+let node_up nd = nd.up
+let fault c = c.fault

@@ -33,8 +33,9 @@ val create_cluster :
 (** [start cluster] spawns every node's request threads and daemons. *)
 val start : cluster -> unit
 
-(** [stop cluster] signals purge daemons to exit so the simulation can
-    drain; idempotent. *)
+(** [stop cluster] signals purge daemons to exit and cancels any pending
+    crash/restart events of the fault plan, so the simulation can drain
+    even when the fault horizon outlives the workload; idempotent. *)
 val stop : cluster -> unit
 
 (** [submit cluster ~client ~node req] sends [req] from client endpoint
@@ -75,9 +76,21 @@ val invalidate_script : cluster -> script:string -> int
     handling (used by load-aware request routing). *)
 val node_active : t -> int
 
+(** [node_up nd] is [false] while the node is crashed under fault
+    injection. A down node answers nothing itself: incoming requests get a
+    front-end [503], incoming fetches and directory updates are lost, and
+    the network drops its traffic. Always [true] without a fault plan. *)
+val node_up : t -> bool
+
 val engine : cluster -> Sim.Engine.t
 val net : cluster -> Sim.Net.t
 val config : cluster -> Config.t
+
+(** [fault cluster] is the instantiated fault plan, when the configuration
+    carries a fault profile — the source of truth for injected drop/delay
+    counts and crash schedules. *)
+val fault : cluster -> Sim.Fault.t option
+
 val n_nodes : cluster -> int
 val node : cluster -> int -> t
 
@@ -121,4 +134,9 @@ module K : sig
   val invalidations : string
   val acks_sent : string
   val fetch_timeouts : string
+  val fetch_retries : string
+  val crashes : string
+  val restarts : string
+  val rejected_down : string
+  val dir_suspect_purged : string
 end

@@ -2,6 +2,7 @@
 
 type t
 
+(** [create ()] is a fresh condition with no waiters. *)
 val create : unit -> t
 
 (** [wait c m] atomically releases [m] and blocks until signalled, then
@@ -14,4 +15,5 @@ val signal : t -> unit
 (** [broadcast c] wakes every current waiter. *)
 val broadcast : t -> unit
 
+(** [waiters c] is the number of processes currently blocked in {!wait}. *)
 val waiters : t -> int

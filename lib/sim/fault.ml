@@ -1,0 +1,164 @@
+type link_profile = { drop : float; delay : float; delay_mean : float }
+
+let reliable = { drop = 0.; delay = 0.; delay_mean = 0. }
+
+type node_profile = { mtbf : float; mttr : float }
+type schedule = (float * float) list
+
+type profile = {
+  link : link_profile;
+  link_overrides : ((int * int) * link_profile) list;
+  node : node_profile option;
+  node_schedules : (int * schedule) list;
+  horizon : float;
+}
+
+let none =
+  {
+    link = reliable;
+    link_overrides = [];
+    node = None;
+    node_schedules = [];
+    horizon = 3600.;
+  }
+
+let make ?(drop = 0.) ?(delay = 0.) ?(delay_mean = 0.) ?(link_overrides = [])
+    ?node ?(node_schedules = []) ?(horizon = 3600.) () =
+  { link = { drop; delay; delay_mean }; link_overrides; node; node_schedules;
+    horizon }
+
+let is_lossy p =
+  let lossy_link (l : link_profile) = l.drop > 0. in
+  lossy_link p.link
+  || List.exists (fun (_, l) -> lossy_link l) p.link_overrides
+  || p.node <> None
+  || List.exists (fun (_, s) -> s <> []) p.node_schedules
+
+let validate p =
+  let check cond msg = if not cond then invalid_arg ("Fault: " ^ msg) in
+  let check_link (l : link_profile) =
+    check (l.drop >= 0. && l.drop <= 1.) "link drop must be in [0,1]";
+    check (l.delay >= 0. && l.delay <= 1.) "link delay must be in [0,1]";
+    check (l.delay_mean >= 0.) "link delay_mean must be >= 0";
+    check
+      (l.delay = 0. || l.delay_mean > 0.)
+      "positive delay probability needs a positive delay_mean"
+  in
+  check_link p.link;
+  List.iter (fun (_, l) -> check_link l) p.link_overrides;
+  (match p.node with
+  | Some n ->
+      check (n.mtbf > 0.) "node mtbf must be positive";
+      check (n.mttr > 0.) "node mttr must be positive"
+  | None -> ());
+  List.iter
+    (fun (node, sched) ->
+      check (node >= 0) "scheduled node id must be >= 0";
+      let rec go prev_up = function
+        | [] -> ()
+        | (down_at, up_at) :: rest ->
+            check (down_at > 0.) "schedule times must be positive";
+            check (up_at > down_at) "schedule intervals need up_at > down_at";
+            check (down_at >= prev_up) "schedule intervals must not overlap";
+            go up_at rest
+      in
+      go 0. sched)
+    p.node_schedules;
+  check (p.horizon > 0.) "horizon must be positive"
+
+type action = Deliver | Drop | Delay of float
+
+type t = {
+  link : link_profile;
+  overrides : (int * int, link_profile) Hashtbl.t;
+  schedules : schedule array;  (* index = node id, [||] entries = never down *)
+  rng : Rng.t;  (* per-message draws; untouched by an all-zero profile *)
+  mutable n_drops : int;
+  mutable n_drops_down : int;
+  mutable n_delays : int;
+  mutable total_delay : float;
+}
+
+(* Alternate exponential up-times (mean mtbf) and downtimes (mean mttr)
+   until the horizon; crash instants beyond it are not generated. *)
+let gen_schedule rng (np : node_profile) ~horizon =
+  let rec go t acc =
+    let down_at = t +. Dist.exponential rng ~mean:np.mtbf in
+    if down_at >= horizon then List.rev acc
+    else
+      let up_at = down_at +. Dist.exponential rng ~mean:np.mttr in
+      go up_at ((down_at, up_at) :: acc)
+  in
+  go 0. []
+
+let create p ~rng ~nodes =
+  validate p;
+  if nodes < 0 then invalid_arg "Fault.create: nodes must be >= 0";
+  (* Split a dedicated generator per node first (in node order) so crash
+     schedules depend only on the seed, not on message traffic. *)
+  let schedules =
+    Array.init nodes (fun node ->
+        let node_rng = Rng.split rng in
+        match List.assoc_opt node p.node_schedules with
+        | Some sched -> sched
+        | None -> (
+            match p.node with
+            | Some np -> gen_schedule node_rng np ~horizon:p.horizon
+            | None -> []))
+  in
+  let overrides = Hashtbl.create 16 in
+  List.iter
+    (fun (linkpair, lp) -> Hashtbl.replace overrides linkpair lp)
+    p.link_overrides;
+  {
+    link = p.link;
+    overrides;
+    schedules;
+    rng;
+    n_drops = 0;
+    n_drops_down = 0;
+    n_delays = 0;
+    total_delay = 0.;
+  }
+
+let node_down t ~node ~now =
+  node >= 0
+  && node < Array.length t.schedules
+  && List.exists
+       (fun (down_at, up_at) -> now >= down_at && now < up_at)
+       t.schedules.(node)
+
+let schedule t ~node =
+  if node < 0 || node >= Array.length t.schedules then []
+  else t.schedules.(node)
+
+let link_for t ~src ~dst =
+  match Hashtbl.find_opt t.overrides (src, dst) with
+  | Some lp -> lp
+  | None -> t.link
+
+let action t ~src ~dst ~now =
+  if node_down t ~node:src ~now || node_down t ~node:dst ~now then begin
+    t.n_drops <- t.n_drops + 1;
+    t.n_drops_down <- t.n_drops_down + 1;
+    Drop
+  end
+  else
+    let lp = link_for t ~src ~dst in
+    if lp.drop = 0. && lp.delay = 0. then Deliver
+    else if lp.drop > 0. && Rng.float t.rng < lp.drop then begin
+      t.n_drops <- t.n_drops + 1;
+      Drop
+    end
+    else if lp.delay > 0. && Rng.float t.rng < lp.delay then begin
+      let extra = Dist.exponential t.rng ~mean:lp.delay_mean in
+      t.n_delays <- t.n_delays + 1;
+      t.total_delay <- t.total_delay +. extra;
+      Delay extra
+    end
+    else Deliver
+
+let drops t = t.n_drops
+let drops_down t = t.n_drops_down
+let delays t = t.n_delays
+let delay_injected t = t.total_delay

@@ -1,0 +1,134 @@
+(** Deterministic fault injection for the simulated cluster.
+
+    A {!profile} describes the faults an experiment wants — per-link message
+    drop/delay behaviour and per-node crash/restart behaviour — and
+    {!create} instantiates it into a {!t} (a {e fault plan}) from a seeded
+    {!Rng.t}. Everything stochastic is drawn from that generator, so the
+    same seed and profile always produce the same fault trace: the same
+    messages dropped, the same extra delays, the same crash and restart
+    instants.
+
+    The plan is consulted by {!Net.send}/{!Net.post} (via [?fault] at
+    {!Net.create}) for every inter-host message, and by the server layer to
+    schedule node crashes and restarts. A profile in which every rate is
+    zero and no schedule is given is {e free}: no random numbers are drawn
+    and every message is delivered exactly as without a plan, so a
+    zero-fault run is byte-identical to a run with no plan at all. *)
+
+(** {1 Profiles} *)
+
+(** Per-link message behaviour. [drop] is the probability that a message on
+    the link is silently discarded; with probability [delay] a surviving
+    message is held back for an extra exponential time of mean
+    [delay_mean] seconds before delivery. *)
+type link_profile = {
+  drop : float;  (** drop probability, in [\[0,1\]] *)
+  delay : float;  (** extra-delay probability, in [\[0,1\]] *)
+  delay_mean : float;  (** mean extra delay (s), [>= 0] *)
+}
+
+(** [reliable] is the zero link: never drops, never delays. *)
+val reliable : link_profile
+
+(** Stochastic crash behaviour of one node: up-times are exponential with
+    mean [mtbf], downtimes exponential with mean [mttr] (both [> 0]). *)
+type node_profile = {
+  mtbf : float;  (** mean time between failures (s) *)
+  mttr : float;  (** mean time to repair (s) *)
+}
+
+(** A crash/restart schedule: [(down_at, up_at)] intervals during which the
+    node is dead, in increasing time order, non-overlapping,
+    with [0 < down_at < up_at]. *)
+type schedule = (float * float) list
+
+(** What an experiment asks for. [link] applies to every ordered pair of
+    distinct endpoints unless overridden in [link_overrides] (keyed by
+    [(src, dst)]). [node], when set, gives every node a stochastic crash
+    schedule generated over [\[0, horizon)]; [node_schedules] pins explicit
+    schedules for individual nodes instead (useful for deterministic
+    tests), taking precedence over [node]. *)
+type profile = {
+  link : link_profile;
+  link_overrides : ((int * int) * link_profile) list;
+  node : node_profile option;
+  node_schedules : (int * schedule) list;
+  horizon : float;  (** crash schedules are generated within [\[0, horizon)] *)
+}
+
+(** [none] is the empty profile: reliable links, no crashes. *)
+val none : profile
+
+(** [make ?drop ?delay ?delay_mean ?link_overrides ?node ?node_schedules
+    ?horizon ()] builds a profile; defaults are the fields of {!none}
+    ([horizon] defaults to [3600.]). *)
+val make :
+  ?drop:float ->
+  ?delay:float ->
+  ?delay_mean:float ->
+  ?link_overrides:((int * int) * link_profile) list ->
+  ?node:node_profile ->
+  ?node_schedules:(int * schedule) list ->
+  ?horizon:float ->
+  unit ->
+  profile
+
+(** [is_lossy p] is [true] when [p] can make a message or a node disappear
+    (some drop probability is positive, or some crash behaviour/schedule is
+    present). Lossy profiles require a fetch timeout at the server layer,
+    or a lost reply would wedge a request thread forever. *)
+val is_lossy : profile -> bool
+
+(** [validate p] raises [Invalid_argument] unless every probability is in
+    [\[0,1\]], every mean and the horizon are positive where required, and
+    every explicit schedule is well-formed (ordered, non-overlapping,
+    strictly positive times). *)
+val validate : profile -> unit
+
+(** {1 Plans} *)
+
+(** The fate of one message, decided at send time. *)
+type action =
+  | Deliver  (** deliver normally *)
+  | Drop  (** silently discard *)
+  | Delay of float  (** deliver after this many extra seconds *)
+
+type t
+(** An instantiated fault plan with its own fault-trace counters. *)
+
+(** [create p ~rng ~nodes] validates [p] and instantiates it. [nodes] is
+    the number of crashable endpoints (endpoint ids [0 .. nodes-1]; higher
+    ids — client endpoints — never crash). Crash schedules are derived from
+    per-node splits of [rng] in node order, then the remainder of [rng]
+    drives per-message draws, so schedules depend only on the seed while
+    message fates additionally depend on the (deterministic) traffic. *)
+val create : profile -> rng:Rng.t -> nodes:int -> t
+
+(** [action t ~src ~dst ~now] decides the fate of a message sent from
+    endpoint [src] to endpoint [dst] at time [now]: [Drop] if either
+    endpoint is down, otherwise the link's stochastic fate. Draws no random
+    numbers on an all-zero link; counts every drop and delay. *)
+val action : t -> src:int -> dst:int -> now:float -> action
+
+(** [node_down t ~node ~now] is [true] while [node] is inside one of its
+    crash intervals. Always [false] for endpoints [>= nodes]. *)
+val node_down : t -> node:int -> now:float -> bool
+
+(** [schedule t ~node] is [node]'s crash/restart schedule (empty when the
+    node never crashes). *)
+val schedule : t -> node:int -> schedule
+
+(** {1 Fault-trace counters} *)
+
+(** [drops t] counts messages discarded by the plan, whether by link loss
+    or because an endpoint was down. *)
+val drops : t -> int
+
+(** [drops_down t] counts only the discards due to a down endpoint. *)
+val drops_down : t -> int
+
+(** [delays t] counts messages given extra delay. *)
+val delays : t -> int
+
+(** [delay_injected t] is the total extra delay added so far, in seconds. *)
+val delay_injected : t -> float

@@ -13,4 +13,5 @@ val arrive : t -> unit
 (** [wait t] blocks until the count reaches 0 (immediate if already 0). *)
 val wait : t -> unit
 
+(** [remaining t] is the number of arrivals still expected. *)
 val remaining : t -> int

@@ -7,6 +7,7 @@
 
 type 'a t
 
+(** [create ()] is a fresh, empty mailbox. *)
 val create : unit -> 'a t
 
 (** [send mb v] enqueues [v], waking the longest-waiting receiver if any. *)

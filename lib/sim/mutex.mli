@@ -2,6 +2,7 @@
 
 type t
 
+(** [create ()] is a fresh, unlocked mutex. *)
 val create : unit -> t
 
 (** [lock m] blocks the calling process until the lock is held. *)
@@ -17,5 +18,8 @@ val unlock : t -> unit
 (** [with_lock m f] runs [f ()] holding the lock, releasing on exception. *)
 val with_lock : t -> (unit -> 'a) -> 'a
 
+(** [locked m] is [true] while some process holds the lock. *)
 val locked : t -> bool
+
+(** [waiters m] is the number of processes queued in {!lock}. *)
 val waiters : t -> int

@@ -4,14 +4,15 @@ type t = {
   bandwidth : float;
   loss : float;
   rng : Rng.t option;
+  fault : Fault.t option;
   nics : Mutex.t array;
   mutable n_messages : int;
   mutable n_bytes : int;
   mutable n_lost : int;
 }
 
-let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng engine
-    ~n_endpoints =
+let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng ?fault
+    engine ~n_endpoints =
   if n_endpoints < 1 then invalid_arg "Net.create: need at least one endpoint";
   if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
   if loss < 0. || loss > 1. then invalid_arg "Net.create: loss out of [0,1]";
@@ -23,6 +24,7 @@ let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng engine
     bandwidth;
     loss;
     rng;
+    fault;
     nics = Array.init n_endpoints (fun _ -> Mutex.create ());
     n_messages = 0;
     n_bytes = 0;
@@ -40,6 +42,18 @@ let dropped t =
       end
       else false
   | None -> false
+
+(* Consult the fault plan for one inter-host message. Counts plan-induced
+   drops in [n_lost] alongside the legacy uniform-loss drops. *)
+let fault_action t ~src ~dst =
+  match t.fault with
+  | None -> Fault.Deliver
+  | Some f -> (
+      match Fault.action f ~src ~dst ~now:(Engine.current_time t.engine) with
+      | Fault.Drop ->
+          t.n_lost <- t.n_lost + 1;
+          Fault.Drop
+      | (Fault.Deliver | Fault.Delay _) as a -> a)
 
 let check_endpoint t who = if who < 0 || who >= Array.length t.nics then
     invalid_arg "Net: endpoint out of range"
@@ -60,10 +74,14 @@ let send t ~src ~dst ~bytes mailbox msg =
     (* Serialise through the sender's NIC, then fly for [lat]. *)
     Mutex.with_lock t.nics.(src) (fun () -> Engine.delay (tx_time t bytes));
     if not (dropped t) then
-      ignore
-        (Engine.schedule_after t.engine t.lat (fun () ->
-             Mailbox.send mailbox msg)
-          : Engine.handle)
+      match fault_action t ~src ~dst with
+      | Fault.Drop -> ()
+      | Fault.Deliver | Fault.Delay _ as a ->
+          let extra = match a with Fault.Delay d -> d | _ -> 0. in
+          ignore
+            (Engine.schedule_after t.engine (t.lat +. extra) (fun () ->
+                 Mailbox.send mailbox msg)
+              : Engine.handle)
   end
 
 let post t ~src ~dst ~bytes mailbox msg =
@@ -73,11 +91,15 @@ let post t ~src ~dst ~bytes mailbox msg =
   account t bytes;
   if src = dst then Mailbox.send mailbox msg
   else if not (dropped t) then
-    ignore
-      (Engine.schedule_after t.engine
-         (tx_time t bytes +. t.lat)
-         (fun () -> Mailbox.send mailbox msg)
-        : Engine.handle)
+    match fault_action t ~src ~dst with
+    | Fault.Drop -> ()
+    | Fault.Deliver | Fault.Delay _ as a ->
+        let extra = match a with Fault.Delay d -> d | _ -> 0. in
+        ignore
+          (Engine.schedule_after t.engine
+             (tx_time t bytes +. t.lat +. extra)
+             (fun () -> Mailbox.send mailbox msg)
+            : Engine.handle)
 
 let transfer t ~src ~dst ~bytes =
   check_endpoint t src;

@@ -17,6 +17,7 @@ val create :
   ?bandwidth:float ->
   ?loss:float ->
   ?rng:Rng.t ->
+  ?fault:Fault.t ->
   Engine.t ->
   n_endpoints:int ->
   t
@@ -28,7 +29,14 @@ val create :
     message is silently dropped after transmission — for failure-injection
     experiments ([rng] required when positive; loopback and blocking
     {!transfer}s never drop, mirroring TCP's reliability for established
-    streams vs. datagram-style notifications). *)
+    streams vs. datagram-style notifications).
+
+    [fault] attaches a {!Fault} plan: every inter-host {!send}/{!post} asks
+    the plan for its fate — delivered, silently dropped (link loss or a
+    down endpoint), or delivered after extra delay. Loopback messages and
+    {!transfer}s are never faulted, for the same TCP-vs-datagram reason as
+    [loss]. Without a plan (or with a zero plan) the delivery path is
+    identical to the pre-fault behaviour. *)
 
 (** [send net ~src ~dst ~bytes mailbox msg] transmits asynchronously:
     occupies [src]'s NIC for the transmission time, then delivers [msg] to
@@ -44,9 +52,16 @@ val post : t -> src:int -> dst:int -> bytes:int -> 'a Mailbox.t -> 'a -> unit
     transfer of [bytes] from [src] to [dst] (transmission + latency). *)
 val transfer : t -> src:int -> dst:int -> bytes:int -> unit
 
+(** [latency t] is the configured one-way latency in seconds. *)
 val latency : t -> float
+
+(** [messages_sent t] counts every {!send}/{!post}/{!transfer}, including
+    loopback and dropped messages. *)
 val messages_sent : t -> int
+
+(** [bytes_sent t] is the total payload bytes across all messages. *)
 val bytes_sent : t -> int
 
-(** [messages_lost t] counts drops due to [loss]. *)
+(** [messages_lost t] counts drops, whether due to [loss] or to the
+    [fault] plan. *)
 val messages_lost : t -> int

@@ -9,7 +9,10 @@ type 'a t
 (** [create ~cmp] returns an empty heap ordered by [cmp] (min first). *)
 val create : cmp:('a -> 'a -> int) -> 'a t
 
+(** [length h] is the number of elements held. *)
 val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
 val is_empty : 'a t -> bool
 
 (** [push h x] inserts [x]. Amortised O(log n). *)

@@ -8,29 +8,42 @@
 
 type t
 
+(** [create ()] is a fresh, unheld lock. *)
 val create : unit -> t
 
 (** [rd_lock l] acquires shared access, blocking while a writer holds or
     earlier waiters queue. *)
 val rd_lock : t -> unit
 
+(** [rd_unlock l] releases one shared hold, admitting the next waiters
+    when the last reader leaves. *)
 val rd_unlock : t -> unit
 
 (** [wr_lock l] acquires exclusive access. *)
 val wr_lock : t -> unit
 
+(** [wr_unlock l] releases exclusive access and admits the next waiter
+    batch (a writer, or a run of consecutive readers). *)
 val wr_unlock : t -> unit
 
-(** [with_rd l f] / [with_wr l f] run [f] under the lock, exception-safe. *)
+(** [with_rd l f] runs [f ()] under a read lock, exception-safe. *)
 val with_rd : t -> (unit -> 'a) -> 'a
 
+(** [with_wr l f] runs [f ()] under the write lock, exception-safe. *)
 val with_wr : t -> (unit -> 'a) -> 'a
 
+(** [readers l] is the number of processes currently holding read access. *)
 val readers : t -> int
+
+(** [writer_held l] is [true] while a writer holds the lock. *)
 val writer_held : t -> bool
+
+(** [waiters l] is the number of processes queued for either access. *)
 val waiters : t -> int
 
-(** Cumulative acquisition counters, for the locking-granularity ablation. *)
+(** Cumulative read-acquisition count, for the locking-granularity
+    ablation. *)
 val rd_acquisitions : t -> int
 
+(** Cumulative write-acquisition count. *)
 val wr_acquisitions : t -> int

@@ -17,5 +17,8 @@ val release : t -> unit
 (** [with_permit s f] runs [f] holding one permit, exception-safe. *)
 val with_permit : t -> (unit -> 'a) -> 'a
 
+(** [available s] is the number of free permits. *)
 val available : t -> int
+
+(** [waiters s] is the number of processes queued in {!acquire}. *)
 val waiters : t -> int

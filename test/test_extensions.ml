@@ -531,8 +531,8 @@ let test_fetch_timeout_fallback () =
 let test_loss_requires_timeout () =
   Alcotest.check_raises "config rejected"
     (Invalid_argument
-       "Config: net_loss > 0 requires a fetch_timeout (lost replies would \
-        wedge request threads)") (fun () ->
+       "Config: message loss or node crashes require a fetch_timeout (lost \
+        replies would wedge request threads)") (fun () ->
       Swala.Config.validate (Swala.Config.make ~net_loss:0.5 ()))
 
 let test_lossy_cluster_completes_workload () =
