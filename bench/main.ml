@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- micro        only the Bechamel suite
    Targets: table1 table2 figure3 figure4 table3 table4 table5 table6
             ablation-policy ablation-locking ablation-consistency
-            ablation-protocol ablation-routing ablation-threshold micro *)
+            ablation-protocol ablation-routing ablation-threshold
+            ablation-loss ablation-faults ablation-partition micro *)
 
 let seed = 42
 
@@ -509,6 +510,47 @@ let bench_ablation_faults () =
     rows;
   emit t
 
+let bench_ablation_partition () =
+  let rows = Swala.Experiments.ablation_partition ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A9. Network partition (halves of a 4-node cluster, cut at \
+         t=1 s) x anti-entropy period (Table-5 workload)."
+      ~columns:
+        [
+          ("Partition (s)", Metrics.Table.Right);
+          ("AE period (s)", Metrics.Table.Right);
+          ("Hits", Metrics.Table.Right);
+          ("False hits", Metrics.Table.Right);
+          ("Dup execs", Metrics.Table.Right);
+          ("AE rounds", Metrics.Table.Right);
+          ("AE pulled", Metrics.Table.Right);
+          ("Healed", Metrics.Table.Right);
+          ("Msgs cut", Metrics.Table.Right);
+          ("Mean response (s)", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.partition_row) ->
+      Metrics.Table.add_row t
+        [
+          (if r.Swala.Experiments.duration_pt = 0. then "-"
+           else Printf.sprintf "%g" r.Swala.Experiments.duration_pt);
+          (if r.Swala.Experiments.period_pt = 0. then "off"
+           else Printf.sprintf "%g" r.Swala.Experiments.period_pt);
+          Metrics.Table.fmt_i r.Swala.Experiments.hits_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.false_hits_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.false_miss_dup_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.ae_rounds_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.ae_pulled_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.healed_pt;
+          Metrics.Table.fmt_i r.Swala.Experiments.drops_partition_pt;
+          sec r.Swala.Experiments.mean_response_pt;
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -609,6 +651,7 @@ let all_targets =
     ("ablation-threshold", bench_ablation_threshold);
     ("ablation-loss", bench_ablation_loss);
     ("ablation-faults", bench_ablation_faults);
+    ("ablation-partition", bench_ablation_partition);
     ("micro", run_micro);
   ]
 

@@ -129,6 +129,69 @@ let fault_horizon_t =
     & info [ "fault-horizon" ] ~docv:"SEC"
         ~doc:"Crash schedules are generated within [0, horizon).")
 
+(* A partition flag value looks like 5:25:0,1|2,3 — cut at t=5 s, heal at
+   t=25 s, nodes {0,1} split from {2,3}. Unlisted nodes (and clients) form
+   one implicit extra group. *)
+let partition_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad partition %S (expected START:HEAL:ids,ids|ids,ids)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ cut; heal; groups ] -> (
+        match (float_of_string_opt cut, float_of_string_opt heal) with
+        | Some cut_at, Some heal_at -> (
+            try
+              let groups =
+                List.map
+                  (fun g ->
+                    match String.split_on_char ',' (String.trim g) with
+                    | [] | [ "" ] -> raise Exit
+                    | ids -> List.map (fun id -> int_of_string (String.trim id)) ids)
+                  (String.split_on_char '|' groups)
+              in
+              if List.length groups < 2 then fail ()
+              else
+                Ok
+                  {
+                    Sim.Fault.pname = s;
+                    groups;
+                    cut_at;
+                    heal_at;
+                  }
+            with Exit | Failure _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf (p : Sim.Fault.partition) =
+    Format.pp_print_string ppf p.Sim.Fault.pname
+  in
+  Arg.conv (parse, print)
+
+let partitions_t =
+  Arg.(
+    value
+    & opt_all partition_conv []
+    & info [ "partition" ] ~docv:"SPEC"
+        ~doc:
+          "Time-varying network partition, as START:HEAL:ids,ids|ids,ids \
+           (e.g. 5:25:0,1|2,3 splits nodes {0,1} from {2,3} between t=5 s \
+           and t=25 s). Repeatable; overlapping partitions compose. \
+           Requires $(b,--fetch-timeout).")
+
+let anti_entropy_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "anti-entropy-period" ] ~docv:"SEC"
+        ~doc:
+          "Run the anti-entropy directory-repair daemon with this period \
+           (cooperative mode): each node periodically exchanges directory \
+           digests with a random peer and pulls missing or stale entries, \
+           so replicas reconverge after partitions heal.")
+
 let fetch_timeout_t =
   Arg.(
     value & opt (some float) None
@@ -165,7 +228,8 @@ let trace_of_workload ~workload ~seed ~requests =
 
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
-    fault_horizon fetch_timeout fetch_retries fetch_backoff =
+    fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
+    fetch_backoff =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -182,7 +246,10 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                 exit 2)
       in
       let fault =
-        if drop_rate = 0. && delay_rate = 0. && crash_mtbf = None then None
+        if
+          drop_rate = 0. && delay_rate = 0. && crash_mtbf = None
+          && partitions = []
+        then None
         else
           Some
             (Sim.Fault.make ~drop:drop_rate ~delay:delay_rate ~delay_mean
@@ -190,12 +257,12 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                  (Option.map
                     (fun mtbf -> { Sim.Fault.mtbf; mttr = crash_mttr })
                     crash_mtbf)
-               ~horizon:fault_horizon ())
+               ~partitions ~horizon:fault_horizon ())
       in
       let cfg =
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
           ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
-          ~fetch_backoff ~seed ()
+          ~fetch_backoff ~anti_entropy_period ~seed ()
       in
       (* Validation otherwise happens inside the run; surface bad flag
          combinations (e.g. faults without --fetch-timeout) as a clean
@@ -227,7 +294,11 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
             (match crash_mtbf with
             | None -> "-"
             | Some m -> Printf.sprintf "%.1fs" m)
-            crash_mttr fault_horizon result.Swala.Cluster_runner.net_lost);
+            crash_mttr fault_horizon result.Swala.Cluster_runner.net_lost;
+          List.iter
+            (fun (p : Sim.Fault.partition) ->
+              Printf.printf "  partition               %s\n" p.Sim.Fault.pname)
+            partitions);
       Printf.printf "simulated makespan        %.2f s\n"
         result.Swala.Cluster_runner.duration;
       Printf.printf "mean response time        %.4f s\n"
@@ -262,7 +333,8 @@ let run_cmd =
       const run_cmd_impl $ seed_t $ nodes_t $ mode_t $ policy_t $ capacity_t
       $ streams_t $ requests_t $ workload_t $ router_t $ rules_t $ drop_rate_t
       $ delay_rate_t $ delay_mean_t $ crash_mtbf_t $ crash_mttr_t
-      $ fault_horizon_t $ fetch_timeout_t $ fetch_retries_t $ fetch_backoff_t)
+      $ fault_horizon_t $ partitions_t $ anti_entropy_t $ fetch_timeout_t
+      $ fetch_retries_t $ fetch_backoff_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -322,6 +394,7 @@ let list_cmd =
               "  ablation-threshold    caching threshold x capacity";
               "  ablation-loss         message loss + timeout recovery";
               "  ablation-faults       drop-rate x crash-frequency degradation";
+              "  ablation-partition    partition duration x anti-entropy period";
               "  micro                 Bechamel kernel micro-benchmarks";
             ])
       $ const ())

@@ -155,6 +155,34 @@ let entries t ~node =
   check_node t node;
   Hashtbl.fold (fun _ m acc -> m :: acc) t.tables.(node).entries []
 
+let find t ~node key =
+  check_node t node;
+  Hashtbl.find_opt t.tables.(node).entries key
+
+(* FNV-1a over a canonical rendering of one meta. Stable across runs,
+   unlike the polymorphic Hashtbl.hash contract. *)
+let meta_hash (m : Meta.t) =
+  let s =
+    Printf.sprintf "%s|%d|%d|%.17g|%.17g|%s" m.Meta.key m.Meta.owner
+      m.Meta.size m.Meta.exec_time m.Meta.created
+      (match m.Meta.expires with
+      | None -> "-"
+      | Some e -> Printf.sprintf "%.17g" e)
+  in
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFFFFFFFFF)
+    s;
+  !h
+
+let digest t ~node =
+  check_node t node;
+  let tbl = t.tables.(node) in
+  let hash = Hashtbl.fold (fun _ m acc -> acc lxor meta_hash m) tbl.entries 0 in
+  (Hashtbl.length tbl.entries, hash)
+
 let table_size t ~node =
   check_node t node;
   Hashtbl.length t.tables.(node).entries

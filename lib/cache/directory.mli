@@ -77,6 +77,20 @@ val touch : t -> node:int -> string -> now:float -> bool
 (** [entries t ~node] lists a table's metas (unordered). *)
 val entries : t -> node:int -> Meta.t list
 
+(** [find t ~node key] is the raw stored meta for [key] in [node]'s table,
+    expired or not, without locks or simulated charges — the anti-entropy
+    merge's recency probe (the caller charges its own round cost and
+    serialises rounds itself). *)
+val find : t -> node:int -> string -> Meta.t option
+
+(** [digest t ~node] is [(count, hash)] over one table's content: the
+    entry count plus an order-independent XOR of stable per-entry hashes.
+    Two replicas of a table agree element-wise iff (modulo the usual hash
+    caveat) their digests agree — the anti-entropy daemon's comparison.
+    Pure: takes no locks and charges no simulated time (the daemon charges
+    its own CPU cost per round). *)
+val digest : t -> node:int -> int * int
+
 (** [table_size t ~node] is the number of metas in one table. *)
 val table_size : t -> node:int -> int
 

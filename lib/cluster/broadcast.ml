@@ -1,14 +1,24 @@
-let info net endpoints ~src msg =
+let info ?(should_abort = fun () -> false) net endpoints ~src msg =
   let bytes = Msg.info_bytes msg in
   let sent = ref 0 in
-  Array.iter
-    (fun (ep : Endpoint.t) ->
-      if ep.Endpoint.node <> src then begin
-        Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes ep.Endpoint.info_mb
-          { Msg.info = msg; ack = None };
-        incr sent
-      end)
-    endpoints;
+  (* The fan-out pays one NIC transmission per peer, so simulated time
+     passes between sends — a crash event can land mid-loop. Checking the
+     abort predicate before each send makes the broadcast genuinely
+     partial: peers already messaged keep the update, the rest never see
+     it (as opposed to the network dropping the remaining sends, which
+     would count as drops). *)
+  (try
+     Array.iter
+       (fun (ep : Endpoint.t) ->
+         if should_abort () then raise Exit;
+         if ep.Endpoint.node <> src then begin
+           Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes
+             ep.Endpoint.info_mb
+             { Msg.info = msg; ack = None };
+           incr sent
+         end)
+       endpoints
+   with Exit -> ());
   !sent
 
 let info_sync net endpoints ~src msg =
@@ -27,6 +37,16 @@ let info_sync net endpoints ~src msg =
     Sim.Mailbox.recv ack
   done;
   !sent
+
+let sync net endpoints ~src ~peer req =
+  match
+    Array.find_opt (fun (ep : Endpoint.t) -> ep.Endpoint.node = peer) endpoints
+  with
+  | None -> invalid_arg "Broadcast.sync: unknown peer endpoint"
+  | Some ep ->
+      Sim.Net.send net ~src ~dst:peer
+        ~bytes:(Msg.sync_request_bytes req)
+        ep.Endpoint.sync_mb req
 
 let fetch net endpoints ~src ~owner req =
   match

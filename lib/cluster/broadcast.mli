@@ -5,13 +5,30 @@
     inter-node consistency protocol (no two-phase commit, no global locks;
     replicas may briefly diverge, producing false hits/misses). *)
 
-(** [info net endpoints ~src msg] transmits [msg] from node [src] to every
-    other endpoint (in endpoint order), fire-and-forget. The caller's
-    simulated thread pays the (tiny) NIC transmission times; deliveries
-    happen after the network latency. Returns the number of peers
-    messaged. Must run in a process. *)
+(** [info ?should_abort net endpoints ~src msg] transmits [msg] from node
+    [src] to every other endpoint (in endpoint order), fire-and-forget.
+    The caller's simulated thread pays the (tiny) NIC transmission times;
+    deliveries happen after the network latency. Returns the number of
+    peers actually messaged.
+
+    [should_abort] (default: never) is consulted before each per-peer
+    send; once it returns [true] the remaining peers are skipped. The
+    server passes the node's liveness so that a crash landing mid-fan-out
+    leaves a {e genuinely partial} replica update — some peers applied the
+    insert, the rest never heard of it — which is the divergence the
+    paper's weak-consistency model allows and the anti-entropy daemon
+    repairs. Must run in a process. *)
 val info :
+  ?should_abort:(unit -> bool) ->
   Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
+
+(** [sync net endpoints ~src ~peer req] sends one anti-entropy digest
+    exchange request to [peer]'s sync responder. Fire-and-forget like
+    {!info}; the reply (if the peer is up and reachable) arrives in
+    [req.sync_reply]. Must run in a process. *)
+val sync :
+  Sim.Net.t -> Endpoint.t array -> src:int -> peer:int ->
+  Msg.sync_request -> unit
 
 (** [info_sync net endpoints ~src msg] sends [msg] with acknowledgement
     requests and blocks until every peer has applied it — the strong

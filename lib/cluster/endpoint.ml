@@ -2,7 +2,13 @@ type t = {
   node : int;
   info_mb : Msg.info_envelope Sim.Mailbox.t;
   data_mb : Msg.fetch_request Sim.Mailbox.t;
+  sync_mb : Msg.sync_request Sim.Mailbox.t;
 }
 
 let make ~node =
-  { node; info_mb = Sim.Mailbox.create (); data_mb = Sim.Mailbox.create () }
+  {
+    node;
+    info_mb = Sim.Mailbox.create ();
+    data_mb = Sim.Mailbox.create ();
+    sync_mb = Sim.Mailbox.create ();
+  }

@@ -6,6 +6,8 @@ type t = {
   info_mb : Msg.info_envelope Sim.Mailbox.t;
       (** consumed by the info receiver *)
   data_mb : Msg.fetch_request Sim.Mailbox.t;  (** consumed by the data server *)
+  sync_mb : Msg.sync_request Sim.Mailbox.t;
+      (** consumed by the anti-entropy responder *)
 }
 
 (** [make ~node] allocates fresh mailboxes for [node]'s daemons. *)

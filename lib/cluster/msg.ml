@@ -17,6 +17,16 @@ type fetch_request = {
   reply : fetch_reply Sim.Mailbox.t;
 }
 
+type digest = { n_entries : int; hash : int }
+
+type sync_reply = { tables : (int * Cache.Meta.t list) list }
+
+type sync_request = {
+  from_node : int;
+  digests : digest array;
+  sync_reply : sync_reply Sim.Mailbox.t;
+}
+
 (* Wire-size estimates: key text plus a fixed envelope. *)
 let envelope = 64
 
@@ -30,3 +40,14 @@ let fetch_reply_bytes = function
   | Hit { meta; body } ->
       envelope + String.length meta.Cache.Meta.key + String.length body
   | Miss { key } -> envelope + String.length key
+
+let sync_request_bytes { digests; _ } = envelope + (12 * Array.length digests)
+
+let sync_reply_bytes { tables } =
+  List.fold_left
+    (fun acc (_, metas) ->
+      List.fold_left
+        (fun acc (m : Cache.Meta.t) ->
+          acc + 40 + String.length m.Cache.Meta.key)
+        (acc + 8) metas)
+    envelope tables

@@ -37,6 +37,33 @@ type fetch_request = {
   reply : fetch_reply Sim.Mailbox.t;
 }
 
+(** {1 Anti-entropy (directory repair)}
+
+    Periodic digest exchange between random peers, the lazy repair channel
+    that reconverges directory replicas after a partition heals or a
+    mid-broadcast crash left a partial update. The paper's weak protocol
+    tolerates divergent replicas; anti-entropy bounds how long they stay
+    divergent. *)
+
+(** Content summary of one directory table: entry count plus an
+    order-independent hash (see [Cache.Directory.digest]). *)
+type digest = { n_entries : int; hash : int }
+
+(** The responder's answer: for every table whose digest differed, its
+    full entry list. The requester merges each table by recency (newest
+    [created] wins per key); anti-entropy never deletes — deletions
+    travel on the ordinary broadcast and purge paths. *)
+type sync_reply = { tables : (int * Cache.Meta.t list) list }
+
+(** One round's opening message: the requester's per-table digests. The
+    reply arrives in [sync_reply]; like a fetch, the requester may abandon
+    the mailbox on timeout (peer down or partitioned away). *)
+type sync_request = {
+  from_node : int;  (** requesting endpoint, for the reply's address *)
+  digests : digest array;  (** indexed by table/node id *)
+  sync_reply : sync_reply Sim.Mailbox.t;
+}
+
 (** Approximate wire sizes, used to charge the network model. *)
 val info_bytes : info -> int
 
@@ -46,3 +73,11 @@ val fetch_request_bytes : fetch_request -> int
 (** [fetch_reply_bytes r] is the reply's approximate wire size ([Hit]
     includes the cached body). *)
 val fetch_reply_bytes : fetch_reply -> int
+
+(** [sync_request_bytes r] is a digest exchange's opening size (12 bytes
+    per table digest plus the envelope). *)
+val sync_request_bytes : sync_request -> int
+
+(** [sync_reply_bytes r] is the pull reply's size: each shipped meta costs
+    its key plus a fixed record, mirroring [info_bytes]. *)
+val sync_reply_bytes : sync_reply -> int

@@ -12,6 +12,7 @@ type result = {
   dir_locks : int * int;
   store_stats : Cache.Stats.t;
   net_lost : int;
+  net_lost_partition : int;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -50,14 +51,15 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
               List.iter
                 (fun item ->
                   let req = Workload.Trace.to_request item in
-                  let target =
-                    match router with
-                    | Some r -> Router.pick r cluster ~stream:s req
-                    | None -> pinned
-                  in
                   let t0 = Sim.Engine.now () in
                   let (_ : Http.Response.t) =
-                    Server.submit cluster ~client ~node:target req
+                    match router with
+                    | Some r ->
+                        (* The dispatcher path: routed, and resubmitted to a
+                           survivor on a 503 from a node that just crashed. *)
+                        let target = Router.pick r cluster ~stream:s req in
+                        Router.submit r cluster ~client ~node:target req
+                    | None -> Server.submit cluster ~client ~node:pinned req
                   in
                   let dt = Sim.Engine.now () -. t0 in
                   Metrics.Sample.add response dt;
@@ -78,6 +80,12 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
         Server.node_counters (Server.node cluster i))
   in
   let counters = Server.merged_counters cluster in
+  (* The router lives client-side; fold its retry count into the cluster
+     totals so one table carries the whole fault story. *)
+  (match router with
+  | Some r when Router.retries r > 0 ->
+      Metrics.Counter.add counters Server.K.router_retries (Router.retries r)
+  | Some _ | None -> ());
   let hits = Server.total_hits cluster in
   let n_cgi =
     Metrics.Counter.get counters Server.K.cgi_execs
@@ -119,6 +127,10 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
        done;
        !acc);
     net_lost = Sim.Net.messages_lost (Server.net cluster);
+    net_lost_partition =
+      (match Server.fault cluster with
+      | Some f -> Sim.Fault.drops_partition f
+      | None -> 0);
   }
 
 let default_registry trace =

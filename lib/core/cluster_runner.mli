@@ -24,6 +24,9 @@ type result = {
   net_lost : int;
       (** protocol messages dropped by the network (uniform loss and the
           fault plan combined); [0] on a healthy run *)
+  net_lost_partition : int;
+      (** the subset of [net_lost] discarded because an active partition
+          separated the endpoints *)
 }
 
 val mean_response : result -> float

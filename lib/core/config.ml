@@ -84,6 +84,7 @@ type t = {
   fetch_retries : int;
   fetch_backoff : float;
   fault : Sim.Fault.profile option;
+  anti_entropy_period : float option;
   broadcast_latency : float option;
   fs_cache_hit : float;
   seed : int;
@@ -119,6 +120,7 @@ let default =
     fetch_retries = 0;
     fetch_backoff = 2.;
     fault = None;
+    anti_entropy_period = None;
     broadcast_latency = None;
     fs_cache_hit = 0.95;
     seed = 42;
@@ -146,6 +148,7 @@ let make ?(n_nodes = default.n_nodes)
     ?(fetch_timeout = default.fetch_timeout)
     ?(fetch_retries = default.fetch_retries)
     ?(fetch_backoff = default.fetch_backoff) ?(fault = default.fault)
+    ?(anti_entropy_period = default.anti_entropy_period)
     ?(broadcast_latency = default.broadcast_latency)
     ?(fs_cache_hit = default.fs_cache_hit) ?(seed = default.seed) () =
   {
@@ -177,6 +180,7 @@ let make ?(n_nodes = default.n_nodes)
     fetch_retries;
     fetch_backoff;
     fault;
+    anti_entropy_period;
     broadcast_latency;
     fs_cache_hit;
     seed;
@@ -201,6 +205,9 @@ let validate t =
   | None -> ());
   (match t.broadcast_latency with
   | Some d -> check (d >= 0.) "broadcast_latency must be >= 0"
+  | None -> ());
+  (match t.anti_entropy_period with
+  | Some p -> check (p > 0.) "anti_entropy_period must be positive"
   | None -> ());
   check (t.net_loss >= 0. && t.net_loss <= 1.) "net_loss must be in [0,1]";
   check (t.fetch_retries >= 0) "fetch_retries must be >= 0";

@@ -97,6 +97,14 @@ type t = {
           [seed]. [None] (the default) leaves the fault layer entirely out
           of the run. A lossy profile requires [fetch_timeout], and the
           [Strong] protocol (no ack retransmission) tolerates no faults *)
+  anti_entropy_period : float option;
+      (** if set (cooperative mode only), every node runs an anti-entropy
+          daemon: once per period it exchanges per-table directory digests
+          with one seeded-random peer and pulls the entries it is missing
+          or holds stale, so replicas provably reconverge after a
+          partition heals or a mid-broadcast crash — instead of relying
+          only on the lazy suspect purge. [None] (the default) disables
+          the daemon and leaves runs byte-identical to builds without it *)
   broadcast_latency : float option;
       (** if set, directory-update broadcasts are delivered after this
           delay instead of the network latency — models slow or batched
@@ -139,6 +147,7 @@ val make :
   ?fetch_retries:int ->
   ?fetch_backoff:float ->
   ?fault:Sim.Fault.profile option ->
+  ?anti_entropy_period:float option ->
   ?broadcast_latency:float option ->
   ?fs_cache_hit:float ->
   ?seed:int ->

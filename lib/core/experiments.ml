@@ -628,3 +628,71 @@ let ablation_faults ?(seed = default_seed) ?(drops = [ 0.0; 0.05; 0.2 ])
           })
         mtbfs)
     drops
+
+type partition_row = {
+  duration_pt : float;
+  period_pt : float;
+  hits_pt : int;
+  false_hits_pt : int;
+  false_miss_dup_pt : int;
+  ae_rounds_pt : int;
+  ae_pulled_pt : int;
+  healed_pt : int;
+  drops_partition_pt : int;
+  mean_response_pt : float;
+}
+
+let ablation_partition ?(seed = default_seed)
+    ?(durations = [ 0.; 10.; 20. ]) ?(periods = [ 0.; 2.; 10. ]) () =
+  (* Short executions and a pinch of locality keep the two halves working
+     the same hot keys, so a split produces divergence worth repairing. *)
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:1600 ~n_unique:1122 ~locality:0.08
+      ~demand:0.05 ()
+  in
+  List.concat_map
+    (fun duration ->
+      List.map
+        (fun period ->
+          let partitions =
+            if duration > 0. then
+              [
+                {
+                  Sim.Fault.pname = "halves";
+                  groups = [ [ 0; 1 ]; [ 2; 3 ] ];
+                  cut_at = 1.0;
+                  heal_at = 1.0 +. duration;
+                };
+              ]
+            else []
+          in
+          let fault =
+            if partitions = [] then None
+            else Some (Sim.Fault.make ~partitions ())
+          in
+          let cfg =
+            Config.make ~n_nodes:4 ~cache_mode:Config.Cooperative
+              ~cache_threshold:0.01 ~fault
+              ~fetch_timeout:(Some 0.5)
+              ~anti_entropy_period:(if period > 0. then Some period else None)
+              ~seed ()
+          in
+          let r =
+            Cluster_runner.run cfg ~trace ~n_streams:16
+              ~router:Router.Per_stream ()
+          in
+          let get = Metrics.Counter.get r.Cluster_runner.counters in
+          {
+            duration_pt = duration;
+            period_pt = period;
+            hits_pt = r.Cluster_runner.hits;
+            false_hits_pt = get Server.K.false_hit;
+            false_miss_dup_pt = get Server.K.false_miss_duplicate;
+            ae_rounds_pt = get Server.K.anti_entropy_rounds;
+            ae_pulled_pt = get Server.K.anti_entropy_pulled;
+            healed_pt = get Server.K.partitions_healed;
+            drops_partition_pt = r.Cluster_runner.net_lost_partition;
+            mean_response_pt = Cluster_runner.mean_response r;
+          })
+        periods)
+    durations

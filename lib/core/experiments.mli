@@ -239,3 +239,31 @@ type fault_row = {
 val ablation_faults :
   ?seed:int -> ?drops:float list -> ?mtbfs:float list -> ?nodes:int ->
   unit -> fault_row list
+
+(** {1 A9 — ablation: network partitions × anti-entropy repair} *)
+
+type partition_row = {
+  duration_pt : float;  (** partition length (s); [0.] = no partition *)
+  period_pt : float;  (** anti-entropy period (s); [0.] = daemon disabled *)
+  hits_pt : int;
+  false_hits_pt : int;
+  false_miss_dup_pt : int;
+      (** duplicate executions of the same key — at insert time while
+          divided, or discovered by the anti-entropy merge after the heal *)
+  ae_rounds_pt : int;  (** digest exchanges initiated *)
+  ae_pulled_pt : int;  (** directory entries pulled by the merges *)
+  healed_pt : int;  (** partitions whose heal instant fired in the run *)
+  drops_partition_pt : int;  (** protocol messages cut by the split *)
+  mean_response_pt : float;
+}
+
+(** [ablation_partition ()] sweeps partition duration × anti-entropy
+    period on a 4-node cluster split down the middle ([[0;1]] vs
+    [[2;3]]). While divided, the halves duplicate hot executions and
+    their directories diverge; after the heal, anti-entropy pulls the
+    missing entries back at a rate set by its period, while a period of
+    [0.] (daemon off) leaves divergence to be repaired only by lazy
+    per-request discovery. *)
+val ablation_partition :
+  ?seed:int -> ?durations:float list -> ?periods:float list ->
+  unit -> partition_row list

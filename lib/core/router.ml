@@ -8,9 +8,10 @@ let policy_name = function
 
 let all_policies = [ Per_stream; Round_robin; Least_active; Key_affinity ]
 
-type t = { policy : policy; mutable next : int }
+type t = { policy : policy; mutable next : int; mutable retries : int }
 
-let create policy = { policy; next = 0 }
+let create policy = { policy; next = 0; retries = 0 }
+let retries t = t.retries
 
 (* FNV-1a (32-bit) over the canonical cache key: stable across runs, which
    Hashtbl.hash is not guaranteed to be. *)
@@ -63,3 +64,30 @@ let pick t cluster ~stream req =
     | Key_affinity -> fnv1a (Http.Request.cache_key req) mod n
   in
   steer cluster node
+
+(* [pick] fails over {e before} the request leaves the client, but a node
+   can crash between the routing decision and its accept — the client then
+   sees the front-end's 503. A dispatcher hides that window by resubmitting
+   to a survivor; each resubmission is counted, so experiments can report
+   how many client requests needed a second (or third) connection. At most
+   [n - 1] resubmissions: after that every node has refused, and the 503
+   stands (whole cluster down). *)
+let submit t cluster ~client ~node req =
+  let n = Server.n_nodes cluster in
+  let rec go node attempts =
+    let resp = Server.submit cluster ~client ~node req in
+    if
+      resp.Http.Response.status = Http.Status.Service_unavailable
+      && attempts < n - 1
+      && not (Server.node_up (Server.node cluster node))
+    then begin
+      let alt = steer cluster ((node + 1) mod n) in
+      if Server.node_up (Server.node cluster alt) then begin
+        t.retries <- t.retries + 1;
+        go alt (attempts + 1)
+      end
+      else resp (* nobody is up; the 503 is the truthful answer *)
+    end
+    else resp
+  in
+  go node 0

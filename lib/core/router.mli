@@ -29,3 +29,18 @@ val create : policy -> t
     is down does the original pick stand, and the node answers 503. On a
     healthy cluster the failover scan never runs. *)
 val pick : t -> Server.cluster -> stream:int -> Http.Request.t -> int
+
+(** [submit t cluster ~client ~node req] is [Server.submit] behind the
+    dispatcher: when the response is a [503] {e and} the target is in fact
+    down (it crashed in the window between routing and accept), the request
+    is resubmitted to the next node that is up, at most [n - 1] times; each
+    resubmission increments {!retries}. A [503] from a node that is up, or
+    with the whole cluster down, is returned as is. Must run inside a
+    simulated process. *)
+val submit :
+  t -> Server.cluster -> client:int -> node:int -> Http.Request.t ->
+  Http.Response.t
+
+(** [retries t] is the cumulative number of client-visible resubmissions
+    this router performed (reported as [Server.K.router_retries]). *)
+val retries : t -> int

@@ -25,6 +25,10 @@ module K = struct
   let restarts = "restarts"
   let rejected_down = "rejected_down"
   let dir_suspect_purged = "dir_suspect_purged"
+  let partitions_healed = "partitions_healed"
+  let anti_entropy_rounds = "anti_entropy_rounds"
+  let anti_entropy_pulled = "anti_entropy_pulled"
+  let router_retries = "router_retries"
 end
 
 type env = {
@@ -38,6 +42,7 @@ type t = {
   cpu : Sim.Cpu.t;
   disk : Sim.Disk.t;
   rng : Sim.Rng.t;
+  ae_rng : Sim.Rng.t;  (* anti-entropy peer choice; own salted stream *)
   listen : env Sim.Mailbox.t;
   endpoint : Cluster.Endpoint.t;
   store : Cache.Store.t;
@@ -90,9 +95,15 @@ let total_hits c =
    stream — and therefore every fault-free aspect of the run — unchanged. *)
 let fault_seed_salt = 0x5DEECE66
 
+(* Same isolation for anti-entropy peer choice: its generators are split
+   off a second salted root (never off [root]), so enabling the daemon
+   does not perturb workload, CPU or cache streams. *)
+let anti_entropy_seed_salt = 0x0A17E57
+
 let create_cluster engine cfg ~registry ~n_client_endpoints =
   Config.validate cfg;
   let root = Sim.Rng.create cfg.Config.seed in
+  let ae_root = Sim.Rng.create (cfg.Config.seed lxor anti_entropy_seed_salt) in
   let fault =
     Option.map
       (fun profile ->
@@ -120,6 +131,7 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
           cpu;
           disk = Sim.Disk.create engine;
           rng;
+          ae_rng = Sim.Rng.split ae_root;
           listen = Sim.Mailbox.create ();
           endpoint = Cluster.Endpoint.make ~node:id;
           store =
@@ -247,7 +259,13 @@ let send_broadcasts c nd msgs =
           ignore
             (Cluster.Broadcast.info_sync c.net c.endpoints ~src:nd.id msg : int)
       | Config.Weak, None ->
-          ignore (Cluster.Broadcast.info c.net c.endpoints ~src:nd.id msg : int)
+          (* Interruptible: a crash landing mid-fan-out stops the loop,
+             leaving the replica update genuinely partial. *)
+          ignore
+            (Cluster.Broadcast.info
+               ~should_abort:(fun () -> not nd.up)
+               c.net c.endpoints ~src:nd.id msg
+              : int)
       | Config.Weak, Some delay ->
           (* Ablation knob: deliver directory updates after a fixed delay,
              bypassing the network model, to widen or narrow the weak-
@@ -544,6 +562,156 @@ let restart nd =
     incr nd K.restarts
   end
 
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy (directory repair).
+
+   Each node periodically exchanges per-table directory digests with one
+   seeded-random peer and pulls the entries it is missing or holds stale,
+   so replicas provably reconverge after a partition heals or a crash cut
+   a broadcast short — instead of relying only on the lazy suspect purge.
+
+   Reconciliation rules, per table [j] of a reply from peer [p]:
+   - [j = self]: skipped. A node's own table tracks its own store; a peer
+     cannot know better, and adopting a peer's stale replica would
+     resurrect entries the store no longer holds.
+   - [j = p]: the responder is the authority for its own table, so the
+     requester adopts it wholesale — stale entries are removed, missing
+     ones inserted. This is the only path on which anti-entropy deletes,
+     and it is exactly the path on which deletion is safe.
+   - otherwise (third-party replica): per-key recency merge — pull a key
+     iff it is missing or the incoming meta is newer ([created] is the
+     owner's insertion clock, so newest-wins is well defined). Never
+     deletes: a missing key may mean "never heard the insert", so removal
+     waits for the authority or an ordinary Delete broadcast.
+
+   A pulled key that the requester itself also caches (same key in its own
+   table) reveals a duplicate execution that happened while the replicas
+   were divided — the paper's second kind of false miss, discovered at
+   reconciliation time rather than at insert time. *)
+
+let ae_merge c nd (reply : Cluster.Msg.sync_reply) ~peer =
+  let pulled = ref 0 in
+  List.iter
+    (fun (j, metas) ->
+      if j <> nd.id && j >= 0 && j < Array.length c.nodes then
+        if j = peer then begin
+          (* Authoritative copy: drop whatever the responder no longer has. *)
+          let keep = Hashtbl.create (List.length metas) in
+          List.iter
+            (fun (m : Cache.Meta.t) -> Hashtbl.replace keep m.Cache.Meta.key ())
+            metas;
+          List.iter
+            (fun (m : Cache.Meta.t) ->
+              if not (Hashtbl.mem keep m.Cache.Meta.key) then
+                ignore
+                  (Cache.Directory.delete nd.dir ~node:j m.Cache.Meta.key
+                    : bool))
+            (Cache.Directory.entries nd.dir ~node:j);
+          List.iter
+            (fun (m : Cache.Meta.t) ->
+              match Cache.Directory.find nd.dir ~node:j m.Cache.Meta.key with
+              | Some cur when cur.Cache.Meta.created >= m.Cache.Meta.created ->
+                  ()
+              | (Some _ | None) as cur ->
+                  if cur = None
+                     && Cache.Directory.find nd.dir ~node:nd.id
+                          m.Cache.Meta.key
+                        <> None
+                  then incr nd K.false_miss_duplicate;
+                  Cache.Directory.insert nd.dir ~node:j m;
+                  Stdlib.incr pulled)
+            metas
+        end
+        else
+          List.iter
+            (fun (m : Cache.Meta.t) ->
+              match Cache.Directory.find nd.dir ~node:j m.Cache.Meta.key with
+              | Some cur when cur.Cache.Meta.created >= m.Cache.Meta.created ->
+                  ()
+              | (Some _ | None) as cur ->
+                  if cur = None
+                     && Cache.Directory.find nd.dir ~node:nd.id
+                          m.Cache.Meta.key
+                        <> None
+                  then incr nd K.false_miss_duplicate;
+                  Cache.Directory.insert nd.dir ~node:j m;
+                  Stdlib.incr pulled)
+            metas)
+    reply.Cluster.Msg.tables;
+  !pulled
+
+(* One anti-entropy round: digest everything, ask one seeded-random peer,
+   merge whatever comes back before the (bounded) wait expires. *)
+let ae_round c nd ~period =
+  let n = Array.length c.nodes in
+  let peer =
+    let k = Sim.Rng.int nd.ae_rng (n - 1) in
+    if k >= nd.id then k + 1 else k
+  in
+  incr nd K.anti_entropy_rounds;
+  let digests =
+    Array.init n (fun j ->
+        let n_entries, hash = Cache.Directory.digest nd.dir ~node:j in
+        { Cluster.Msg.n_entries; hash })
+  in
+  let reply_mb = Sim.Mailbox.create () in
+  Cluster.Broadcast.sync c.net c.endpoints ~src:nd.id ~peer
+    { Cluster.Msg.from_node = nd.id; digests; sync_reply = reply_mb };
+  let timeout = Option.value c.cfg.Config.fetch_timeout ~default:period in
+  match Sim.Mailbox.recv_timeout reply_mb ~timeout with
+  | None -> ()  (* peer down or partitioned away; next round, another peer *)
+  | Some reply ->
+      let pulled = ae_merge c nd reply ~peer in
+      if pulled > 0 then
+        Metrics.Counter.add nd.counters K.anti_entropy_pulled pulled
+
+let anti_entropy_daemon c nd ~period =
+  let rec loop () =
+    if not nd.stop then begin
+      Sim.Engine.delay period;
+      if nd.up && not nd.stop && Array.length c.nodes > 1 then begin
+        Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
+        ae_round c nd ~period
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* The responder half: answer digest exchanges with the tables that
+   differ. Runs forever on its mailbox, like the info receiver. *)
+let sync_responder c nd =
+  let rec loop () =
+    let req = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.sync_mb in
+    if not nd.up then loop ()  (* in flight across the crash instant: lost *)
+    else begin
+      Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
+      let n = Array.length c.nodes in
+      let tables = ref [] in
+      for j = n - 1 downto 0 do
+        let n_entries, hash = Cache.Directory.digest nd.dir ~node:j in
+        let differs =
+          match
+            if j < Array.length req.Cluster.Msg.digests then
+              Some req.Cluster.Msg.digests.(j)
+            else None
+          with
+          | Some d ->
+              d.Cluster.Msg.n_entries <> n_entries || d.Cluster.Msg.hash <> hash
+          | None -> true
+        in
+        if differs then
+          tables := (j, Cache.Directory.entries nd.dir ~node:j) :: !tables
+      done;
+      let reply = { Cluster.Msg.tables = !tables } in
+      Sim.Net.send c.net ~src:nd.id ~dst:req.Cluster.Msg.from_node
+        ~bytes:(Cluster.Msg.sync_reply_bytes reply)
+        req.Cluster.Msg.sync_reply reply;
+      loop ()
+    end
+  in
+  loop ()
+
 let purge_daemon c nd =
   let rec loop () =
     if not nd.stop then begin
@@ -557,7 +725,9 @@ let purge_daemon c nd =
           if c.cfg.Config.cache_mode = Config.Cooperative then begin
             incr nd K.broadcast_delete;
             ignore
-              (Cluster.Broadcast.info c.net c.endpoints ~src:nd.id
+              (Cluster.Broadcast.info
+                 ~should_abort:(fun () -> not nd.up)
+                 c.net c.endpoints ~src:nd.id
                  (Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key })
                 : int)
           end)
@@ -580,7 +750,13 @@ let start c =
       | Config.Cooperative ->
           Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
           Sim.Engine.spawn c.engine (fun () -> data_server c nd);
-          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd))
+          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd);
+          (match c.cfg.Config.anti_entropy_period with
+          | None -> ()
+          | Some period ->
+              Sim.Engine.spawn c.engine (fun () -> sync_responder c nd);
+              Sim.Engine.spawn c.engine (fun () ->
+                  anti_entropy_daemon c nd ~period)))
     c.nodes;
   (* Schedule the fault plan's crash/restart instants as plain events; the
      handles are kept so [stop] can cancel whatever has not yet fired. *)
@@ -601,7 +777,17 @@ let start c =
                   Sim.Engine.schedule_at c.engine up_at (fun () -> restart nd)
                   :: c.fault_handles)
             (Sim.Fault.schedule f ~node:nd.id))
-        c.nodes
+        c.nodes;
+      (* Each partition's heal instant is observable: node 0 counts it, so
+         experiments can report how many splits a run actually saw end. *)
+      List.iter
+        (fun (p : Sim.Fault.partition) ->
+          if p.Sim.Fault.heal_at >= now then
+            c.fault_handles <-
+              Sim.Engine.schedule_at c.engine p.Sim.Fault.heal_at (fun () ->
+                  incr c.nodes.(0) K.partitions_healed)
+              :: c.fault_handles)
+        (Sim.Fault.partitions f)
 
 let stop c =
   Array.iter (fun nd -> nd.stop <- true) c.nodes;

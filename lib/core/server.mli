@@ -139,4 +139,14 @@ module K : sig
   val restarts : string
   val rejected_down : string
   val dir_suspect_purged : string
+
+  (** [partitions_healed] counts partition heal instants observed (on node
+      0); [anti_entropy_rounds]/[anti_entropy_pulled] count digest-exchange
+      rounds initiated and entries pulled by the anti-entropy daemon;
+      [router_retries] counts client requests that a router re-submitted to
+      a survivor after a [503] from a down node. *)
+  val partitions_healed : string
+  val anti_entropy_rounds : string
+  val anti_entropy_pulled : string
+  val router_retries : string
 end

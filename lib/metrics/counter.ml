@@ -27,6 +27,9 @@ let merge a b =
   fold b;
   out
 
+let equal a b =
+  names a = names b && List.for_all (fun k -> get a k = get b k) (names a)
+
 let pp ppf t =
   let items = names t in
   Format.fprintf ppf "@[<v>";

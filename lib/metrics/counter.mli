@@ -20,4 +20,8 @@ val names : t -> string list
 (** [merge a b] sums both counter sets into a fresh one. *)
 val merge : t -> t -> t
 
+(** [equal a b] is [true] when both hold exactly the same names with the
+    same values — the determinism-replay tests' comparison. *)
+val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -5,11 +5,19 @@ let reliable = { drop = 0.; delay = 0.; delay_mean = 0. }
 type node_profile = { mtbf : float; mttr : float }
 type schedule = (float * float) list
 
+type partition = {
+  pname : string;
+  groups : int list list;
+  cut_at : float;
+  heal_at : float;
+}
+
 type profile = {
   link : link_profile;
   link_overrides : ((int * int) * link_profile) list;
   node : node_profile option;
   node_schedules : (int * schedule) list;
+  partitions : partition list;
   horizon : float;
 }
 
@@ -19,13 +27,14 @@ let none =
     link_overrides = [];
     node = None;
     node_schedules = [];
+    partitions = [];
     horizon = 3600.;
   }
 
 let make ?(drop = 0.) ?(delay = 0.) ?(delay_mean = 0.) ?(link_overrides = [])
-    ?node ?(node_schedules = []) ?(horizon = 3600.) () =
+    ?node ?(node_schedules = []) ?(partitions = []) ?(horizon = 3600.) () =
   { link = { drop; delay; delay_mean }; link_overrides; node; node_schedules;
-    horizon }
+    partitions; horizon }
 
 let is_lossy p =
   let lossy_link (l : link_profile) = l.drop > 0. in
@@ -33,6 +42,7 @@ let is_lossy p =
   || List.exists (fun (_, l) -> lossy_link l) p.link_overrides
   || p.node <> None
   || List.exists (fun (_, s) -> s <> []) p.node_schedules
+  || p.partitions <> []
 
 let validate p =
   let check cond msg = if not cond then invalid_arg ("Fault: " ^ msg) in
@@ -64,6 +74,25 @@ let validate p =
       in
       go 0. sched)
     p.node_schedules;
+  List.iter
+    (fun part ->
+      check (part.cut_at >= 0.) "partition cut_at must be >= 0";
+      check (part.heal_at > part.cut_at) "partition needs heal_at > cut_at";
+      check (part.groups <> []) "partition needs at least one group";
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun group ->
+          check (group <> []) "partition groups must be non-empty";
+          List.iter
+            (fun node ->
+              check (node >= 0) "partition node ids must be >= 0";
+              check
+                (not (Hashtbl.mem seen node))
+                "partition groups must be disjoint";
+              Hashtbl.add seen node ())
+            group)
+        part.groups)
+    p.partitions;
   check (p.horizon > 0.) "horizon must be positive"
 
 type action = Deliver | Drop | Delay of float
@@ -72,9 +101,14 @@ type t = {
   link : link_profile;
   overrides : (int * int, link_profile) Hashtbl.t;
   schedules : schedule array;  (* index = node id, [||] entries = never down *)
+  parts : partition array;  (* in profile order *)
+  (* group_of.(p) maps a node id to its group index in partition p;
+     endpoints beyond the array (or unlisted) share the implicit group -1. *)
+  group_of : int array array;
   rng : Rng.t;  (* per-message draws; untouched by an all-zero profile *)
   mutable n_drops : int;
   mutable n_drops_down : int;
+  mutable n_drops_partition : int;
   mutable n_delays : int;
   mutable total_delay : float;
 }
@@ -110,13 +144,32 @@ let create p ~rng ~nodes =
   List.iter
     (fun (linkpair, lp) -> Hashtbl.replace overrides linkpair lp)
     p.link_overrides;
+  let parts = Array.of_list p.partitions in
+  let group_of =
+    Array.map
+      (fun part ->
+        let top =
+          List.fold_left
+            (fun acc g -> List.fold_left Stdlib.max acc g)
+            (-1) part.groups
+        in
+        let map = Array.make (top + 1) (-1) in
+        List.iteri
+          (fun gi group -> List.iter (fun node -> map.(node) <- gi) group)
+          part.groups;
+        map)
+      parts
+  in
   {
     link = p.link;
     overrides;
     schedules;
+    parts;
+    group_of;
     rng;
     n_drops = 0;
     n_drops_down = 0;
+    n_drops_partition = 0;
     n_delays = 0;
     total_delay = 0.;
   }
@@ -132,6 +185,23 @@ let schedule t ~node =
   if node < 0 || node >= Array.length t.schedules then []
   else t.schedules.(node)
 
+let group t ~part ~node =
+  let map = t.group_of.(part) in
+  if node < 0 || node >= Array.length map then -1 else map.(node)
+
+let partitioned t ~src ~dst ~now =
+  let n = Array.length t.parts in
+  let rec go i =
+    i < n
+    && ((let p = t.parts.(i) in
+         now >= p.cut_at && now < p.heal_at
+         && group t ~part:i ~node:src <> group t ~part:i ~node:dst)
+       || go (i + 1))
+  in
+  go 0
+
+let partitions t = Array.to_list t.parts
+
 let link_for t ~src ~dst =
   match Hashtbl.find_opt t.overrides (src, dst) with
   | Some lp -> lp
@@ -141,6 +211,11 @@ let action t ~src ~dst ~now =
   if node_down t ~node:src ~now || node_down t ~node:dst ~now then begin
     t.n_drops <- t.n_drops + 1;
     t.n_drops_down <- t.n_drops_down + 1;
+    Drop
+  end
+  else if Array.length t.parts > 0 && partitioned t ~src ~dst ~now then begin
+    t.n_drops <- t.n_drops + 1;
+    t.n_drops_partition <- t.n_drops_partition + 1;
     Drop
   end
   else
@@ -160,5 +235,7 @@ let action t ~src ~dst ~now =
 
 let drops t = t.n_drops
 let drops_down t = t.n_drops_down
+let drops_partition t = t.n_drops_partition
+let drops_link t = t.n_drops - t.n_drops_down - t.n_drops_partition
 let delays t = t.n_delays
 let delay_injected t = t.total_delay

@@ -42,17 +42,37 @@ type node_profile = {
     with [0 < down_at < up_at]. *)
 type schedule = (float * float) list
 
+(** A named time-varying network partition: over [\[cut_at, heal_at)] the
+    endpoint set is split into [groups], and every message between
+    endpoints of different groups is dropped. Endpoints not listed in any
+    group (including client endpoints) form one implicit extra group, so a
+    two-group split of a 4-node cluster is written [\[\[0;1\];\[2;3\]\]] and
+    never cuts clients off the front end (client traffic uses the
+    un-faulted [transfer] path anyway). Groups must be disjoint; several
+    partitions may overlap in time and compose — a message is dropped if
+    {e any} active partition separates its endpoints. *)
+type partition = {
+  pname : string;  (** label for traces and sweep tables *)
+  groups : int list list;  (** disjoint, non-empty endpoint groups *)
+  cut_at : float;  (** the split starts (s), [>= 0] *)
+  heal_at : float;  (** the split heals (s), [> cut_at] *)
+}
+
 (** What an experiment asks for. [link] applies to every ordered pair of
     distinct endpoints unless overridden in [link_overrides] (keyed by
     [(src, dst)]). [node], when set, gives every node a stochastic crash
     schedule generated over [\[0, horizon)]; [node_schedules] pins explicit
     schedules for individual nodes instead (useful for deterministic
-    tests), taking precedence over [node]. *)
+    tests), taking precedence over [node]. [partitions] lists the
+    time-varying splits; they compose with the link profiles (a message
+    surviving every active partition still runs the link's drop/delay
+    gauntlet). *)
 type profile = {
   link : link_profile;
   link_overrides : ((int * int) * link_profile) list;
   node : node_profile option;
   node_schedules : (int * schedule) list;
+  partitions : partition list;
   horizon : float;  (** crash schedules are generated within [\[0, horizon)] *)
 }
 
@@ -69,6 +89,7 @@ val make :
   ?link_overrides:((int * int) * link_profile) list ->
   ?node:node_profile ->
   ?node_schedules:(int * schedule) list ->
+  ?partitions:partition list ->
   ?horizon:float ->
   unit ->
   profile
@@ -106,8 +127,10 @@ val create : profile -> rng:Rng.t -> nodes:int -> t
 
 (** [action t ~src ~dst ~now] decides the fate of a message sent from
     endpoint [src] to endpoint [dst] at time [now]: [Drop] if either
-    endpoint is down, otherwise the link's stochastic fate. Draws no random
-    numbers on an all-zero link; counts every drop and delay. *)
+    endpoint is down or an active partition separates them, otherwise the
+    link's stochastic fate. Draws no random numbers on an all-zero link
+    (down-node and partition checks are deterministic); counts every drop
+    and delay. *)
 val action : t -> src:int -> dst:int -> now:float -> action
 
 (** [node_down t ~node ~now] is [true] while [node] is inside one of its
@@ -118,6 +141,14 @@ val node_down : t -> node:int -> now:float -> bool
     node never crashes). *)
 val schedule : t -> node:int -> schedule
 
+(** [partitioned t ~src ~dst ~now] is [true] while some partition active at
+    [now] places [src] and [dst] in different groups. Draws nothing. *)
+val partitioned : t -> src:int -> dst:int -> now:float -> bool
+
+(** [partitions t] is the plan's partition list, in profile order — the
+    server layer schedules heal events from the [heal_at] instants. *)
+val partitions : t -> partition list
+
 (** {1 Fault-trace counters} *)
 
 (** [drops t] counts messages discarded by the plan, whether by link loss
@@ -126,6 +157,14 @@ val drops : t -> int
 
 (** [drops_down t] counts only the discards due to a down endpoint. *)
 val drops_down : t -> int
+
+(** [drops_partition t] counts only the discards due to an active
+    partition separating the endpoints. *)
+val drops_partition : t -> int
+
+(** [drops_link t] counts only the stochastic per-link discards;
+    [drops t = drops_down t + drops_partition t + drops_link t] always. *)
+val drops_link : t -> int
 
 (** [delays t] counts messages given extra delay. *)
 val delays : t -> int
