@@ -6,11 +6,14 @@
      dune exec bench/main.exe                 run everything
      dune exec bench/main.exe -- table1 figure4 ...
                                               run a subset
-     dune exec bench/main.exe -- micro        only the Bechamel suite
+     dune exec bench/main.exe -- micro        Bechamel suite + wall-clock
+                                              end-to-end run (also writes
+                                              BENCH_perf.json)
    Targets: table1 table2 figure3 figure4 table3 table4 table5 table6
             ablation-policy ablation-locking ablation-consistency
             ablation-protocol ablation-routing ablation-threshold
-            ablation-loss ablation-faults ablation-partition micro *)
+            ablation-loss ablation-faults ablation-partition
+            ablation-batching micro *)
 
 let seed = 42
 
@@ -551,6 +554,47 @@ let bench_ablation_partition () =
     rows;
   emit t
 
+let bench_ablation_batching () =
+  let rows = Swala.Experiments.ablation_batching ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A10. Directory-update batching: flush interval x cluster \
+         size (all-insert 5 ms CGIs, batch_max 64, 4 streams/node)."
+      ~columns:
+        [
+          ("# nodes", Metrics.Table.Right);
+          ("Flush (s)", Metrics.Table.Right);
+          ("Updates", Metrics.Table.Right);
+          ("Msgs", Metrics.Table.Right);
+          ("KB", Metrics.Table.Right);
+          ("Batches", Metrics.Table.Right);
+          ("Batched upd", Metrics.Table.Right);
+          ("Coalesced", Metrics.Table.Right);
+          ("Hits", Metrics.Table.Right);
+          ("Mean response (s)", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.batching_row) ->
+      Metrics.Table.add_row t
+        [
+          Metrics.Table.fmt_i r.Swala.Experiments.nodes_bt;
+          (if r.Swala.Experiments.interval_bt = 0. then "off"
+           else Printf.sprintf "%g" r.Swala.Experiments.interval_bt);
+          Metrics.Table.fmt_i r.Swala.Experiments.updates_bt;
+          Metrics.Table.fmt_i r.Swala.Experiments.msgs_bt;
+          Printf.sprintf "%.1f"
+            (float_of_int r.Swala.Experiments.bytes_bt /. 1024.);
+          Metrics.Table.fmt_i r.Swala.Experiments.batches_bt;
+          Metrics.Table.fmt_i r.Swala.Experiments.batched_updates_bt;
+          Metrics.Table.fmt_i r.Swala.Experiments.coalesced_bt;
+          Metrics.Table.fmt_i r.Swala.Experiments.hits_bt;
+          sec r.Swala.Experiments.mean_response_bt;
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -601,6 +645,46 @@ let micro_tests () =
            Workload.Synthetic.coop ~seed:!ctr ~n:100 ~n_unique:70 ~n_hot:10 ()));
   ]
 
+(* Wall-clock end-to-end benchmark: how fast does the simulator itself
+   run on the host? Times a cooperative 4-node replay and records
+   requests/sec and events/sec of {e wall} time in BENCH_perf.json, so
+   future optimisation PRs have a perf trajectory to compare against. *)
+let run_perf () =
+  let n_requests = 2_000 in
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:n_requests ~n_unique:1400 ~locality:0.08 ()
+  in
+  let cfg =
+    Swala.Config.make ~n_nodes:4 ~cache_mode:Swala.Config.Cooperative ~seed ()
+  in
+  let go () = Swala.Cluster_runner.run cfg ~trace ~n_streams:16 () in
+  (* One throwaway run warms the minor heap and code paths. *)
+  ignore (go () : Swala.Cluster_runner.result);
+  let t0 = Unix.gettimeofday () in
+  let r = go () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = r.Swala.Cluster_runner.n_events in
+  let rps = float_of_int n_requests /. wall in
+  let eps = float_of_int events /. wall in
+  Printf.printf
+    "End-to-end (4 nodes, %d requests, %d sim events): %.3f s wall -> %.0f \
+     requests/s, %.0f events/s\n"
+    n_requests events wall rps eps;
+  let oc = open_out "BENCH_perf.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"swala-e2e-coop-4node\",\n\
+    \  \"nodes\": 4,\n\
+    \  \"requests\": %d,\n\
+    \  \"sim_events\": %d,\n\
+    \  \"wall_seconds\": %.6f,\n\
+    \  \"requests_per_sec_wall\": %.1f,\n\
+    \  \"events_per_sec_wall\": %.1f\n\
+     }\n"
+    n_requests events wall rps eps;
+  close_out oc;
+  Printf.printf "Wrote BENCH_perf.json\n\n"
+
 let run_micro () =
   let open Bechamel in
   let ols =
@@ -629,7 +713,8 @@ let run_micro () =
   List.iter
     (fun (name, est) -> Metrics.Table.add_row t [ name; est ])
     (List.sort compare !rows);
-  emit t
+  emit t;
+  run_perf ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -652,6 +737,7 @@ let all_targets =
     ("ablation-loss", bench_ablation_loss);
     ("ablation-faults", bench_ablation_faults);
     ("ablation-partition", bench_ablation_partition);
+    ("ablation-batching", bench_ablation_batching);
     ("micro", run_micro);
   ]
 

@@ -192,6 +192,34 @@ let anti_entropy_t =
            digests with a random peer and pulls missing or stale entries, \
            so replicas reconverge after partitions heal.")
 
+let batch_flush_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "batch-flush-interval" ] ~docv:"SEC"
+        ~doc:
+          "Nagle-style timer for directory-update batching: each node \
+           buffers outbound directory updates and flushes the buffer at \
+           least this often (cooperative mode, weak consistency). \
+           Requires $(b,--batch-max) > 1 to have any effect.")
+
+let batch_max_t =
+  Arg.(
+    value & opt int 1
+    & info [ "batch-max" ] ~docv:"N"
+        ~doc:
+          "Flush the directory-update buffer once it holds N updates; \
+           same-key updates coalesce to the newest. 1 (default) disables \
+           batching; > 1 requires $(b,--batch-flush-interval).")
+
+let dir_hints_t =
+  Arg.(
+    value & flag
+    & info [ "dir-hints" ]
+        ~doc:
+          "Maintain a key-to-owner hint index in each directory replica \
+           so lookups probe only hinted tables (stale hints fall back to \
+           the full scan).")
+
 let fetch_timeout_t =
   Arg.(
     value & opt (some float) None
@@ -229,7 +257,7 @@ let trace_of_workload ~workload ~seed ~requests =
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
-    fetch_backoff =
+    fetch_backoff batch_flush_interval batch_max dir_hints =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -262,7 +290,8 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       let cfg =
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
           ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
-          ~fetch_backoff ~anti_entropy_period ~seed ()
+          ~fetch_backoff ~anti_entropy_period ~batch_max
+          ~batch_flush_interval ~dir_hints ~seed ()
       in
       (* Validation otherwise happens inside the run; surface bad flag
          combinations (e.g. faults without --fetch-timeout) as a clean
@@ -334,7 +363,8 @@ let run_cmd =
       $ streams_t $ requests_t $ workload_t $ router_t $ rules_t $ drop_rate_t
       $ delay_rate_t $ delay_mean_t $ crash_mtbf_t $ crash_mttr_t
       $ fault_horizon_t $ partitions_t $ anti_entropy_t $ fetch_timeout_t
-      $ fetch_retries_t $ fetch_backoff_t)
+      $ fetch_retries_t $ fetch_backoff_t $ batch_flush_t $ batch_max_t
+      $ dir_hints_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -395,7 +425,9 @@ let list_cmd =
               "  ablation-loss         message loss + timeout recovery";
               "  ablation-faults       drop-rate x crash-frequency degradation";
               "  ablation-partition    partition duration x anti-entropy period";
-              "  micro                 Bechamel kernel micro-benchmarks";
+              "  ablation-batching     directory-update batching: flush x nodes";
+              "  micro                 Bechamel micro-benchmarks + wall-clock \
+               e2e (BENCH_perf.json)";
             ])
       $ const ())
 

@@ -4,6 +4,9 @@ type table = {
   lock : Sim.Rwlock.t;  (* the table's lock under Per_table *)
   entries : (string, Meta.t) Hashtbl.t;
   mutable last_touch : float;
+  mutable digest_xor : int;
+      (* xor of meta_hash over [entries], maintained incrementally so
+         [digest] is O(1) instead of re-hashing every entry. *)
 }
 
 type t = {
@@ -19,13 +22,24 @@ type t = {
      exclusion correct. *)
   mutable extra_rd : int;
   mutable extra_wr : int;
+  orders : int array array;
+      (* orders.(self) is self followed by the other node ids in index
+         order — the probe chain, precomputed once at create. *)
+  hints : (string, int) Hashtbl.t option;
+      (* key -> bitmask of tables hinted to hold the key. Advisory only:
+         a set bit may be stale (expired/deleted entry), a clear bit may
+         miss a live one; lookups always fall back to the full scan. *)
+  mutable hint_saved : int;  (* table probes skipped thanks to hints *)
+  mutable hint_false : int;  (* lookups where every hinted probe missed *)
 }
 
 let create ?(granularity = Per_table) ?(lock_overhead = 2e-6) ?(scan_cost = 0.)
-    ?(charge = Sim.Engine.delay) ~nodes () =
+    ?(charge = Sim.Engine.delay) ?(hints = false) ~nodes () =
   if nodes < 1 then invalid_arg "Directory.create: nodes must be >= 1";
   if lock_overhead < 0. then invalid_arg "Directory.create: negative overhead";
   if scan_cost < 0. then invalid_arg "Directory.create: negative scan cost";
+  if hints && nodes > Sys.int_size - 2 then
+    invalid_arg "Directory.create: hint bitmask cannot cover that many nodes";
   {
     gran = granularity;
     lock_overhead;
@@ -38,9 +52,19 @@ let create ?(granularity = Per_table) ?(lock_overhead = 2e-6) ?(scan_cost = 0.)
             lock = Sim.Rwlock.create ();
             entries = Hashtbl.create 64;
             last_touch = 0.;
+            digest_xor = 0;
           });
     extra_rd = 0;
     extra_wr = 0;
+    orders =
+      Array.init nodes (fun self ->
+          Array.init nodes (fun i ->
+              if i = 0 then self
+              else if i <= self then i - 1
+              else i));
+    hints = (if hints then Some (Hashtbl.create 256) else None);
+    hint_saved = 0;
+    hint_false = 0;
   }
 
 let check_node t node =
@@ -50,6 +74,48 @@ let check_node t node =
 let charge t n =
   if n > 0 && t.lock_overhead > 0. then
     t.charge_fn (float_of_int n *. t.lock_overhead)
+
+(* FNV-1a over a canonical rendering of one meta. Stable across runs,
+   unlike the polymorphic Hashtbl.hash contract. *)
+let meta_hash (m : Meta.t) =
+  let s =
+    Printf.sprintf "%s|%d|%d|%.17g|%.17g|%s" m.Meta.key m.Meta.owner
+      m.Meta.size m.Meta.exec_time m.Meta.created
+      (match m.Meta.expires with
+      | None -> "-"
+      | Some e -> Printf.sprintf "%.17g" e)
+  in
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFFFFFFFFF)
+    s;
+  !h
+
+let hint_add t ~node key =
+  match t.hints with
+  | None -> ()
+  | Some h ->
+      let mask = Option.value (Hashtbl.find_opt h key) ~default:0 in
+      Hashtbl.replace h key (mask lor (1 lsl node))
+
+let hint_remove t ~node key =
+  match t.hints with
+  | None -> ()
+  | Some h -> (
+      match Hashtbl.find_opt h key with
+      | None -> ()
+      | Some mask ->
+          let mask = mask land lnot (1 lsl node) in
+          if mask = 0 then Hashtbl.remove h key
+          else Hashtbl.replace h key mask)
+
+(* Drop [node]'s bit from every hint; used when a whole table is wiped. *)
+let hint_clear_node t ~node tbl =
+  match t.hints with
+  | None -> ()
+  | Some _ -> Hashtbl.iter (fun key _ -> hint_remove t ~node key) tbl.entries
 
 (* Time spent examining the probed table, charged while the lock is held. *)
 let scan_charge t tbl =
@@ -97,52 +163,102 @@ let probe t tbl ~now key =
       | Some meta when not (Meta.expired meta ~now) -> Some meta
       | Some _ | None -> None)
 
-let lookup_order n self =
-  self :: List.filter (fun i -> i <> self) (List.init n (fun i -> i))
+(* Scan the probe chain [order] from position [from], skipping any table
+   whose bit is set in [skip] (already probed). *)
+let scan_order t order ~now key ~from ~skip =
+  let n = Array.length order in
+  let rec go i =
+    if i >= n then None
+    else
+      let node = order.(i) in
+      if skip land (1 lsl node) <> 0 then go (i + 1)
+      else
+        match probe t t.tables.(node) ~now key with
+        | Some meta -> Some meta
+        | None -> go (i + 1)
+  in
+  go from
 
 let lookup_from t ~self ~now key =
   check_node t self;
-  let rec go = function
-    | [] -> None
-    | i :: rest -> (
-        match probe t t.tables.(i) ~now key with
-        | Some meta -> Some meta
-        | None -> go rest)
-  in
-  go (lookup_order (Array.length t.tables) self)
+  let order = t.orders.(self) in
+  match t.hints with
+  | None -> scan_order t order ~now key ~from:0 ~skip:0
+  | Some h -> (
+      match Hashtbl.find_opt h key with
+      | None | Some 0 ->
+          (* No hint: the key should be nowhere, but hints are advisory,
+             so fall back to the full ordered scan. *)
+          scan_order t order ~now key ~from:0 ~skip:0
+      | Some mask ->
+          (* Probe only the hinted tables, in probe-chain order. On a hit
+             we saved every un-hinted table that precedes it in the
+             chain; if every hinted probe misses, the hint was false and
+             the full scan (minus tables already probed) takes over. *)
+          let n = Array.length order in
+          let rec go i probed =
+            if i >= n then begin
+              t.hint_false <- t.hint_false + 1;
+              scan_order t order ~now key ~from:0 ~skip:mask
+            end
+            else
+              let node = order.(i) in
+              if mask land (1 lsl node) = 0 then go (i + 1) probed
+              else
+                match probe t t.tables.(node) ~now key with
+                | Some meta ->
+                    t.hint_saved <- t.hint_saved + (i + 1 - (probed + 1));
+                    Some meta
+                | None -> go (i + 1) (probed + 1)
+          in
+          go 0 0)
 
 let lookup t ~now key = lookup_from t ~self:0 ~now key
+
+(* The unlocked bodies below keep [digest_xor] and the hint index in step
+   with [entries]; every mutation of a table goes through one of them. *)
+let insert_unlocked t tbl ~node meta =
+  (match Hashtbl.find_opt tbl.entries meta.Meta.key with
+  | Some old -> tbl.digest_xor <- tbl.digest_xor lxor meta_hash old
+  | None -> ());
+  tbl.digest_xor <- tbl.digest_xor lxor meta_hash meta;
+  Hashtbl.replace tbl.entries meta.Meta.key meta;
+  hint_add t ~node meta.Meta.key
+
+let delete_unlocked t tbl ~node key =
+  match Hashtbl.find_opt tbl.entries key with
+  | Some old ->
+      tbl.digest_xor <- tbl.digest_xor lxor meta_hash old;
+      Hashtbl.remove tbl.entries key;
+      hint_remove t ~node key;
+      true
+  | None -> false
+
+let wipe_unlocked t tbl ~node =
+  let n = Hashtbl.length tbl.entries in
+  hint_clear_node t ~node tbl;
+  Hashtbl.reset tbl.entries;
+  tbl.digest_xor <- 0;
+  n
 
 let insert t ~node meta =
   check_node t node;
   let tbl = t.tables.(node) in
-  with_table_wr t tbl (fun () ->
-      Hashtbl.replace tbl.entries meta.Meta.key meta)
+  with_table_wr t tbl (fun () -> insert_unlocked t tbl ~node meta)
 
 let delete t ~node key =
   check_node t node;
   let tbl = t.tables.(node) in
-  with_table_wr t tbl (fun () ->
-      if Hashtbl.mem tbl.entries key then begin
-        Hashtbl.remove tbl.entries key;
-        true
-      end
-      else false)
+  with_table_wr t tbl (fun () -> delete_unlocked t tbl ~node key)
 
 let purge_node t ~node =
   check_node t node;
   let tbl = t.tables.(node) in
-  with_table_wr t tbl (fun () ->
-      let n = Hashtbl.length tbl.entries in
-      Hashtbl.reset tbl.entries;
-      n)
+  with_table_wr t tbl (fun () -> wipe_unlocked t tbl ~node)
 
 let reset_node t ~node =
   check_node t node;
-  let tbl = t.tables.(node) in
-  let n = Hashtbl.length tbl.entries in
-  Hashtbl.reset tbl.entries;
-  n
+  wipe_unlocked t t.tables.(node) ~node
 
 let touch t ~node key ~now =
   check_node t node;
@@ -159,29 +275,28 @@ let find t ~node key =
   check_node t node;
   Hashtbl.find_opt t.tables.(node).entries key
 
-(* FNV-1a over a canonical rendering of one meta. Stable across runs,
-   unlike the polymorphic Hashtbl.hash contract. *)
-let meta_hash (m : Meta.t) =
-  let s =
-    Printf.sprintf "%s|%d|%d|%.17g|%.17g|%s" m.Meta.key m.Meta.owner
-      m.Meta.size m.Meta.exec_time m.Meta.created
-      (match m.Meta.expires with
-      | None -> "-"
-      | Some e -> Printf.sprintf "%.17g" e)
-  in
-  let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c ->
-      h := !h lxor Char.code c;
-      h := !h * 0x01000193 land 0x3FFFFFFFFFFFFFF)
-    s;
-  !h
-
-let digest t ~node =
+let digest_slow t ~node =
   check_node t node;
   let tbl = t.tables.(node) in
   let hash = Hashtbl.fold (fun _ m acc -> acc lxor meta_hash m) tbl.entries 0 in
   (Hashtbl.length tbl.entries, hash)
+
+(* Debug path: recompute the digest from scratch and compare against the
+   incrementally maintained xor, catching any update path that forgot to
+   fold its delta in. Opt-in because it defeats the O(1) purpose. *)
+let verify_digests =
+  match Sys.getenv_opt "SWALA_VERIFY_DIGESTS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let digest t ~node =
+  check_node t node;
+  let tbl = t.tables.(node) in
+  if verify_digests then begin
+    let slow = digest_slow t ~node in
+    assert (slow = (Hashtbl.length tbl.entries, tbl.digest_xor))
+  end;
+  (Hashtbl.length tbl.entries, tbl.digest_xor)
 
 let table_size t ~node =
   check_node t node;
@@ -191,6 +306,8 @@ let total_size t =
   Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl.entries) 0 t.tables
 
 let nodes t = Array.length t.tables
+let hints_enabled t = t.hints <> None
+let hint_stats t = (t.hint_saved, t.hint_false)
 
 let lock_acquisitions t =
   let rd = ref (Sim.Rwlock.rd_acquisitions t.global_lock + t.extra_rd) in

@@ -26,6 +26,7 @@ val create :
   ?lock_overhead:float ->
   ?scan_cost:float ->
   ?charge:(float -> unit) ->
+  ?hints:bool ->
   nodes:int ->
   unit ->
   t
@@ -36,7 +37,14 @@ val create :
     is exactly what distinguishes the three granularities under load.
     [charge] spends the accumulated seconds (default [Sim.Engine.delay]);
     the server passes the owning node's CPU so that lock and scan work
-    contends with request processing. *)
+    contends with request processing.
+
+    [hints] (default [false]) maintains a key→owner-set hint index so
+    {!lookup_from} probes only tables hinted to hold the key. Hints may
+    be stale but are never authoritative: a false hint (every hinted
+    probe misses) falls back to the full ordered scan, exactly like the
+    paper tolerates false hits/misses. The owner set is an [int] bitmask,
+    so [hints] caps [nodes] at [Sys.int_size - 2]. *)
 
 (** [lookup t key] probes every table (self first is the caller's choice;
     this probes in index order) and returns the first live entry. Expired
@@ -45,7 +53,11 @@ val create :
 val lookup : t -> now:float -> string -> Meta.t option
 
 (** [lookup_from t ~self ~now key] probes [self]'s table first, then the
-    others in index order — preferring a local hit over a remote one. *)
+    others in index order — preferring a local hit over a remote one. The
+    probe order is precomputed per node at {!create} time, so the chain
+    allocates nothing. With [hints] enabled only hinted tables are
+    probed, falling back to the full scan when the hint set is empty or
+    every hinted probe misses. *)
 val lookup_from : t -> self:int -> now:float -> string -> Meta.t option
 
 (** [insert t ~node meta] records [meta] in [node]'s table. *)
@@ -88,8 +100,16 @@ val find : t -> node:int -> string -> Meta.t option
     Two replicas of a table agree element-wise iff (modulo the usual hash
     caveat) their digests agree — the anti-entropy daemon's comparison.
     Pure: takes no locks and charges no simulated time (the daemon charges
-    its own CPU cost per round). *)
+    its own CPU cost per round). O(1): the XOR is maintained incrementally
+    by insert/delete/purge. Setting [SWALA_VERIFY_DIGESTS=1] in the
+    environment asserts the incremental value against {!digest_slow} on
+    every call. *)
 val digest : t -> node:int -> int * int
+
+(** [digest_slow t ~node] recomputes the digest from scratch by hashing
+    every entry — the pre-optimization behaviour, kept as the reference
+    for the incremental path. *)
+val digest_slow : t -> node:int -> int * int
 
 (** [table_size t ~node] is the number of metas in one table. *)
 val table_size : t -> node:int -> int
@@ -98,6 +118,14 @@ val table_size : t -> node:int -> int
 val total_size : t -> int
 
 val nodes : t -> int
+
+(** [hints_enabled t] is whether the hint index is maintained. *)
+val hints_enabled : t -> bool
+
+(** [hint_stats t] is [(probes_saved, false_hints)]: table probes skipped
+    thanks to the hint index, and lookups where every hinted probe missed
+    and the full-scan fallback ran. *)
+val hint_stats : t -> int * int
 
 (** [lock_acquisitions t] is the cumulative (read, write) acquisition count
     across the whole directory — the ablation's measured quantity. *)

@@ -1,6 +1,7 @@
 type info =
   | Insert of Cache.Meta.t
   | Delete of { node : int; key : string }
+  | Batch of info list
 
 type info_envelope = {
   info : info;
@@ -30,9 +31,16 @@ type sync_request = {
 (* Wire-size estimates: key text plus a fixed envelope. *)
 let envelope = 64
 
-let info_bytes = function
-  | Insert meta -> envelope + String.length meta.Cache.Meta.key + 40
-  | Delete { key; _ } -> envelope + String.length key
+(* Per-update payload, without the envelope. A batch shares one envelope
+   across its updates; each update then costs a 12-byte sub-header plus
+   its body, so [info_bytes] amortizes the fixed cost. *)
+let rec info_body = function
+  | Insert meta -> String.length meta.Cache.Meta.key + 40
+  | Delete { key; _ } -> String.length key
+  | Batch updates ->
+      List.fold_left (fun acc u -> acc + 12 + info_body u) 0 updates
+
+let info_bytes i = envelope + info_body i
 
 let fetch_request_bytes { key; _ } = envelope + String.length key
 

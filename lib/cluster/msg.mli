@@ -5,10 +5,14 @@
     answers {!fetch_request}s, and the purge thread originates [Delete]
     broadcasts for expired entries. *)
 
-(** Directory maintenance traffic, broadcast after local inserts/deletes. *)
+(** Directory maintenance traffic, broadcast after local inserts/deletes.
+    [Batch] carries several coalesced updates under one shared envelope
+    (Nagle-style batching, see [Core.Server]); receivers apply the
+    updates in list order, so a later update to the same key wins. *)
 type info =
   | Insert of Cache.Meta.t
   | Delete of { node : int; key : string }
+  | Batch of info list
 
 (** What actually travels on the info channel. Under the paper's weak
     protocol [ack] is [None] (fire-and-forget); the synchronous-consistency
@@ -64,7 +68,9 @@ type sync_request = {
   sync_reply : sync_reply Sim.Mailbox.t;
 }
 
-(** Approximate wire sizes, used to charge the network model. *)
+(** Approximate wire sizes, used to charge the network model. A [Batch]
+    pays one envelope plus a 12-byte sub-header per update, so batching
+    amortizes the fixed per-message cost. *)
 val info_bytes : info -> int
 
 (** [fetch_request_bytes r] is the request's approximate wire size. *)

@@ -13,6 +13,7 @@ type result = {
   store_stats : Cache.Stats.t;
   net_lost : int;
   net_lost_partition : int;
+  n_events : int;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -75,6 +76,10 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
       Server.stop cluster);
   Sim.Engine.run engine;
   let duration = !finished_at in
+  (* Hint statistics live in the directory; surface them as counters so
+     runs with hints on report them alongside everything else (absent
+     when zero, keeping hint-less counter sets unchanged). *)
+  Server.record_hint_stats cluster;
   let per_node_counters =
     Array.init (Server.n_nodes cluster) (fun i ->
         Server.node_counters (Server.node cluster i))
@@ -131,6 +136,7 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
       (match Server.fault cluster with
       | Some f -> Sim.Fault.drops_partition f
       | None -> 0);
+    n_events = Sim.Engine.events_processed engine;
   }
 
 let default_registry trace =

@@ -27,6 +27,9 @@ type result = {
   net_lost_partition : int;
       (** the subset of [net_lost] discarded because an active partition
           separated the endpoints *)
+  n_events : int;
+      (** simulation events the engine executed during the run — the
+          denominator of the wall-clock events/sec benchmark *)
 }
 
 val mean_response : result -> float

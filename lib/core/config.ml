@@ -86,6 +86,9 @@ type t = {
   fault : Sim.Fault.profile option;
   anti_entropy_period : float option;
   broadcast_latency : float option;
+  batch_max : int;
+  batch_flush_interval : float option;
+  dir_hints : bool;
   fs_cache_hit : float;
   seed : int;
 }
@@ -122,6 +125,9 @@ let default =
     fault = None;
     anti_entropy_period = None;
     broadcast_latency = None;
+    batch_max = 1;
+    batch_flush_interval = None;
+    dir_hints = false;
     fs_cache_hit = 0.95;
     seed = 42;
   }
@@ -150,6 +156,9 @@ let make ?(n_nodes = default.n_nodes)
     ?(fetch_backoff = default.fetch_backoff) ?(fault = default.fault)
     ?(anti_entropy_period = default.anti_entropy_period)
     ?(broadcast_latency = default.broadcast_latency)
+    ?(batch_max = default.batch_max)
+    ?(batch_flush_interval = default.batch_flush_interval)
+    ?(dir_hints = default.dir_hints)
     ?(fs_cache_hit = default.fs_cache_hit) ?(seed = default.seed) () =
   {
     n_nodes;
@@ -182,6 +191,9 @@ let make ?(n_nodes = default.n_nodes)
     fault;
     anti_entropy_period;
     broadcast_latency;
+    batch_max;
+    batch_flush_interval;
+    dir_hints;
     fs_cache_hit;
     seed;
   }
@@ -227,6 +239,19 @@ let validate t =
     check (not lossy)
       "the strong protocol has no ack retransmission; it tolerates neither \
        net_loss nor a lossy fault profile";
+  check (t.batch_max >= 1) "batch_max must be >= 1";
+  (match t.batch_flush_interval with
+  | Some d -> check (d > 0.) "batch_flush_interval must be positive"
+  | None -> ());
+  if t.batch_max > 1 then begin
+    check
+      (t.batch_flush_interval <> None)
+      "batch_max > 1 requires a batch_flush_interval (buffered updates \
+       would otherwise wait for the size threshold forever)";
+    check (t.consistency = Weak)
+      "update batching applies only to the weak protocol (the strong \
+       protocol acknowledges each update synchronously)"
+  end;
   check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
   check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
   check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";

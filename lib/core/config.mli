@@ -109,6 +109,20 @@ type t = {
       (** if set, directory-update broadcasts are delivered after this
           delay instead of the network latency — models slow or batched
           propagation of the weak-consistency protocol (ablation A3) *)
+  batch_max : int;
+      (** directory updates buffered per node before a size-triggered
+          flush. [1] (the default) disables batching: every update is
+          transmitted immediately, bare, exactly as before the batching
+          layer existed. [> 1] requires [batch_flush_interval] and the
+          [Weak] protocol *)
+  batch_flush_interval : float option;
+      (** Nagle-style timer: with [batch_max > 1], a flusher daemon per
+          node transmits whatever the outbound buffer holds every this
+          many seconds, bounding how stale a buffered update can get *)
+  dir_hints : bool;
+      (** maintain a key→owner-set hint index in each directory replica
+          so lookups probe only hinted tables (stale-tolerant; false
+          hints fall back to the full scan). Default [false] *)
   fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
   seed : int;
 }
@@ -149,6 +163,9 @@ val make :
   ?fault:Sim.Fault.profile option ->
   ?anti_entropy_period:float option ->
   ?broadcast_latency:float option ->
+  ?batch_max:int ->
+  ?batch_flush_interval:float option ->
+  ?dir_hints:bool ->
   ?fs_cache_hit:float ->
   ?seed:int ->
   unit ->

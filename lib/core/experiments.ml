@@ -696,3 +696,58 @@ let ablation_partition ?(seed = default_seed)
           })
         periods)
     durations
+
+(* ------------------------------------------------------------------ *)
+(* A10 — directory-update batching *)
+
+type batching_row = {
+  nodes_bt : int;
+  interval_bt : float;  (* 0. = batching off (batch_max 1) *)
+  updates_bt : int;  (* directory updates originated *)
+  msgs_bt : int;  (* unicast messages actually sent *)
+  bytes_bt : int;  (* wire bytes of those messages *)
+  batches_bt : int;  (* Batch envelopes among them *)
+  batched_updates_bt : int;  (* updates those envelopes carried *)
+  coalesced_bt : int;  (* buffered updates overwritten before sending *)
+  hits_bt : int;
+  mean_response_bt : float;
+}
+
+let ablation_batching ?(seed = default_seed) ?(node_counts = [ 2; 4; 8; 16 ])
+    ?(intervals = [ 0.; 0.005; 0.02; 0.05 ]) ?(n_requests = 4000) () =
+  (* Same write-heavy regime as the locking ablation: every CGI result is
+     unique and cacheable, so each request broadcasts one insert — the
+     directory-metadata worst case that batching targets. The WebStone
+     file mix generates no directory traffic at all, which is the other
+     end of the spectrum and needs no batching. An interval of 0 means
+     batching off ([batch_max = 1]), the exact pre-batching path. *)
+  let trace = Workload.Synthetic.unique_cacheable ~n:n_requests ~demand:0.005 in
+  List.concat_map
+    (fun nodes ->
+      List.map
+        (fun interval ->
+          let batching = interval > 0. in
+          let cfg =
+            Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+              ~cache_threshold:0.001
+              ~batch_max:(if batching then 64 else 1)
+              ~batch_flush_interval:(if batching then Some interval else None)
+              ~seed ()
+          in
+          let r = Cluster_runner.run cfg ~trace ~n_streams:(4 * nodes) () in
+          let get = Metrics.Counter.get r.Cluster_runner.counters in
+          {
+            nodes_bt = nodes;
+            interval_bt = interval;
+            updates_bt =
+              get Server.K.broadcast_insert + get Server.K.broadcast_delete;
+            msgs_bt = get Server.K.info_msgs;
+            bytes_bt = get Server.K.info_bytes;
+            batches_bt = get Server.K.batches_sent;
+            batched_updates_bt = get Server.K.batch_updates;
+            coalesced_bt = get Server.K.batch_coalesced;
+            hits_bt = r.Cluster_runner.hits;
+            mean_response_bt = Cluster_runner.mean_response r;
+          })
+        intervals)
+    node_counts

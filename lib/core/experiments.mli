@@ -267,3 +267,32 @@ type partition_row = {
 val ablation_partition :
   ?seed:int -> ?durations:float list -> ?periods:float list ->
   unit -> partition_row list
+
+(** {1 A10 — ablation: directory-update batching} *)
+
+type batching_row = {
+  nodes_bt : int;
+  interval_bt : float;
+      (** batch flush interval (s); [0.] = batching off ([batch_max 1],
+          the exact pre-batching transmit path) *)
+  updates_bt : int;  (** directory updates originated (inserts + deletes) *)
+  msgs_bt : int;  (** directory-update unicasts actually sent *)
+  bytes_bt : int;  (** wire bytes of those unicasts *)
+  batches_bt : int;  (** [Msg.Batch] envelopes among the unicasts *)
+  batched_updates_bt : int;  (** updates carried inside batch envelopes *)
+  coalesced_bt : int;
+      (** buffered updates overwritten by a newer same-key update before
+          transmission *)
+  hits_bt : int;
+  mean_response_bt : float;
+}
+
+(** [ablation_batching ()] sweeps the Nagle-style flush interval across
+    cluster sizes on the write-heavy unique-cacheable mix (every request
+    broadcasts one insert — the metadata-traffic worst case batching
+    targets). Message and byte counts fall as the interval grows, while
+    hit behaviour and request conservation are unchanged: batching delays
+    metadata, it never loses or reorders it. *)
+val ablation_batching :
+  ?seed:int -> ?node_counts:int list -> ?intervals:float list ->
+  ?n_requests:int -> unit -> batching_row list

@@ -29,6 +29,23 @@ module K = struct
   let anti_entropy_rounds = "anti_entropy_rounds"
   let anti_entropy_pulled = "anti_entropy_pulled"
   let router_retries = "router_retries"
+
+  (* Batching layer: batches_sent counts Batch envelopes transmitted (only
+     buffers of >= 2 updates are wrapped), batch_updates the updates they
+     carried, batch_coalesced buffered updates overwritten by a newer
+     update to the same key before transmission. info_msgs/info_bytes
+     count actual directory-update unicasts (envelopes, not updates) and
+     their wire bytes — the quantity batching is meant to shrink. *)
+  let batches_sent = "batches_sent"
+  let batch_updates = "batch_updates"
+  let batch_coalesced = "batch_coalesced"
+  let info_msgs = "info_msgs"
+  let info_bytes = "info_bytes"
+
+  (* Hint index: probes skipped thanks to hints, and lookups where every
+     hinted probe missed (the false-hint fallback ran). *)
+  let hint_probes_saved = "hint_probes_saved"
+  let hint_false = "hint_false"
 end
 
 type env = {
@@ -49,6 +66,9 @@ type t = {
   dir : Cache.Directory.t;  (* this node's replica of the global directory *)
   counters : Metrics.Counter.t;
   in_flight : (string, int) Hashtbl.t;  (* CGI keys being executed *)
+  mutable batch_buf : Cluster.Msg.info list;
+      (* outbound directory updates awaiting a batched flush, newest
+         first; empty whenever Config.batch_max <= 1 *)
   mutable active : int;  (* requests currently being handled *)
   mutable up : bool;  (* false while crashed (fault injection) *)
   mutable stop : bool;
@@ -144,9 +164,10 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
               ~lock_overhead:cfg.Config.dir_lock_overhead
               ~scan_cost:cfg.Config.dir_scan_cost
               ~charge:(fun s -> Sim.Cpu.consume cpu s)
-              ~nodes:cfg.Config.n_nodes ();
+              ~hints:cfg.Config.dir_hints ~nodes:cfg.Config.n_nodes ();
           counters = Metrics.Counter.create ();
           in_flight = Hashtbl.create 64;
+          batch_buf = [];
           active = 0;
           up = true;
           stop = false;
@@ -247,39 +268,94 @@ let insert_result c nd ~key ~body ~exec_time ttl =
   incr nd K.inserts;
   List.rev !broadcasts
 
-let send_broadcasts c nd msgs =
-  List.iter
-    (fun msg ->
-      (match msg with
-      | Cluster.Msg.Insert _ -> incr nd K.broadcast_insert
-      | Cluster.Msg.Delete _ -> incr nd K.broadcast_delete);
-      match (c.cfg.Config.consistency, c.cfg.Config.broadcast_latency) with
-      | Config.Strong, _ ->
-          (* Block until every replica has applied the update. *)
-          ignore
-            (Cluster.Broadcast.info_sync c.net c.endpoints ~src:nd.id msg : int)
-      | Config.Weak, None ->
-          (* Interruptible: a crash landing mid-fan-out stops the loop,
-             leaving the replica update genuinely partial. *)
-          ignore
-            (Cluster.Broadcast.info
-               ~should_abort:(fun () -> not nd.up)
-               c.net c.endpoints ~src:nd.id msg
-              : int)
-      | Config.Weak, Some delay ->
-          (* Ablation knob: deliver directory updates after a fixed delay,
-             bypassing the network model, to widen or narrow the weak-
-             consistency window in isolation. *)
-          Array.iter
-            (fun (ep : Cluster.Endpoint.t) ->
-              if ep.Cluster.Endpoint.node <> nd.id then
-                ignore
-                  (Sim.Engine.schedule_after c.engine delay (fun () ->
-                       Sim.Mailbox.send ep.Cluster.Endpoint.info_mb
-                         { Cluster.Msg.info = msg; ack = None })
-                    : Sim.Engine.handle))
-            c.endpoints)
-    msgs
+(* Transmit one directory-update message (bare or batched) to every peer
+   per the configured consistency protocol, counting the unicasts and
+   wire bytes actually sent. *)
+let dispatch c nd msg =
+  let sent =
+    match (c.cfg.Config.consistency, c.cfg.Config.broadcast_latency) with
+    | Config.Strong, _ ->
+        (* Block until every replica has applied the update. *)
+        Cluster.Broadcast.info_sync c.net c.endpoints ~src:nd.id msg
+    | Config.Weak, None ->
+        (* Interruptible: a crash landing mid-fan-out stops the loop,
+           leaving the replica update genuinely partial. *)
+        Cluster.Broadcast.info
+          ~should_abort:(fun () -> not nd.up)
+          c.net c.endpoints ~src:nd.id msg
+    | Config.Weak, Some delay ->
+        (* Ablation knob: deliver directory updates after a fixed delay,
+           bypassing the network model, to widen or narrow the weak-
+           consistency window in isolation. *)
+        let sent = ref 0 in
+        Array.iter
+          (fun (ep : Cluster.Endpoint.t) ->
+            if ep.Cluster.Endpoint.node <> nd.id then begin
+              Stdlib.incr sent;
+              ignore
+                (Sim.Engine.schedule_after c.engine delay (fun () ->
+                     Sim.Mailbox.send ep.Cluster.Endpoint.info_mb
+                       { Cluster.Msg.info = msg; ack = None })
+                  : Sim.Engine.handle)
+            end)
+          c.endpoints;
+        !sent
+  in
+  if sent > 0 then begin
+    Metrics.Counter.add nd.counters K.info_msgs sent;
+    Metrics.Counter.add nd.counters K.info_bytes
+      (sent * Cluster.Msg.info_bytes msg)
+  end
+
+(* The (table, key) a buffered update settles; two updates with the same
+   target coalesce because the later one fully determines the key's final
+   directory state. *)
+let update_target = function
+  | Cluster.Msg.Insert m -> (m.Cache.Meta.owner, m.Cache.Meta.key)
+  | Cluster.Msg.Delete { node; key } -> (node, key)
+  | Cluster.Msg.Batch _ -> invalid_arg "Server: batches cannot nest"
+
+(* Transmit whatever the outbound buffer holds. A single buffered update
+   goes out bare — byte-identical to the unbatched path — so the Batch
+   wrapper (and its counters) only ever covers >= 2 updates. *)
+let flush c nd =
+  match nd.batch_buf with
+  | [] -> ()
+  | [ msg ] ->
+      nd.batch_buf <- [];
+      dispatch c nd msg
+  | buffered ->
+      nd.batch_buf <- [];
+      let updates = List.rev buffered in
+      incr nd K.batches_sent;
+      Metrics.Counter.add nd.counters K.batch_updates (List.length updates);
+      dispatch c nd (Cluster.Msg.Batch updates)
+
+(* Originate one directory update. With batching off ([batch_max <= 1])
+   this is exactly the pre-batching path: transmit immediately, bare.
+   Otherwise buffer it, coalescing against any pending update to the same
+   key (last write wins, and the winner moves to the end so in-order
+   application at the receiver is preserved), and flush when the buffer
+   reaches [batch_max]; the per-node flusher daemon handles the timer. *)
+let enqueue c nd msg =
+  (match msg with
+  | Cluster.Msg.Insert _ -> incr nd K.broadcast_insert
+  | Cluster.Msg.Delete _ -> incr nd K.broadcast_delete
+  | Cluster.Msg.Batch _ -> invalid_arg "Server: batches cannot nest");
+  if c.cfg.Config.batch_max <= 1 then dispatch c nd msg
+  else begin
+    let target = update_target msg in
+    let rest =
+      List.filter (fun u -> update_target u <> target) nd.batch_buf
+    in
+    if List.compare_lengths rest nd.batch_buf <> 0 then
+      incr nd K.batch_coalesced;
+    nd.batch_buf <- msg :: rest;
+    if List.compare_length_with nd.batch_buf c.cfg.Config.batch_max >= 0 then
+      flush c nd
+  end
+
+let send_broadcasts c nd msgs = List.iter (enqueue c nd) msgs
 
 (* ------------------------------------------------------------------ *)
 (* CGI execution (Figure 2's "Exec CGI, tee results to file") *)
@@ -482,18 +558,33 @@ let request_thread c nd =
   in
   loop ()
 
+(* Apply a received directory update; a batch applies its updates in list
+   order, so a later update to the same key wins. [info_applied] counts
+   updates, not envelopes, keeping it comparable across batch settings. *)
+let rec apply_info nd = function
+  | Cluster.Msg.Insert meta ->
+      incr nd K.info_applied;
+      Cache.Directory.insert nd.dir ~node:meta.Cache.Meta.owner meta
+  | Cluster.Msg.Delete { node; key } ->
+      incr nd K.info_applied;
+      ignore (Cache.Directory.delete nd.dir ~node key : bool)
+  | Cluster.Msg.Batch updates -> List.iter (apply_info nd) updates
+
+let rec info_updates = function
+  | Cluster.Msg.Insert _ | Cluster.Msg.Delete _ -> 1
+  | Cluster.Msg.Batch l -> List.fold_left (fun a u -> a + info_updates u) 0 l
+
 let info_daemon c nd =
   let rec loop () =
     let envelope = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.info_mb in
     if not nd.up then loop ()  (* in flight across the crash instant: lost *)
     else begin
-    Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
-    incr nd K.info_applied;
-    (match envelope.Cluster.Msg.info with
-    | Cluster.Msg.Insert meta ->
-        Cache.Directory.insert nd.dir ~node:meta.Cache.Meta.owner meta
-    | Cluster.Msg.Delete { node; key } ->
-        ignore (Cache.Directory.delete nd.dir ~node key : bool));
+    (* The apply cost is per update: batching amortizes the envelope on
+       the wire, not the directory work at the receiver. *)
+    Sim.Cpu.consume nd.cpu
+      (float_of_int (info_updates envelope.Cluster.Msg.info)
+      *. c.cfg.Config.info_apply_cost);
+    apply_info nd envelope.Cluster.Msg.info;
     (match envelope.Cluster.Msg.ack with
     | Some (sender, ack) ->
         incr nd K.acks_sent;
@@ -553,7 +644,11 @@ let crash nd =
     incr nd K.crashes;
     ignore (Cache.Store.clear nd.store : int);
     ignore (Cache.Directory.reset_node nd.dir ~node:nd.id : int);
-    Hashtbl.reset nd.in_flight
+    Hashtbl.reset nd.in_flight;
+    (* Buffered-but-unflushed directory updates die with the node; peers
+       learn of the lost entries via false hits / anti-entropy, exactly
+       like updates lost mid-broadcast. *)
+    nd.batch_buf <- []
   end
 
 let restart nd =
@@ -722,16 +817,24 @@ let purge_daemon c nd =
           incr nd K.purged;
           ignore
             (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
-          if c.cfg.Config.cache_mode = Config.Cooperative then begin
-            incr nd K.broadcast_delete;
-            ignore
-              (Cluster.Broadcast.info
-                 ~should_abort:(fun () -> not nd.up)
-                 c.net c.endpoints ~src:nd.id
-                 (Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key })
-                : int)
-          end)
+          if c.cfg.Config.cache_mode = Config.Cooperative then
+            send_broadcasts c nd
+              [ Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key } ])
         expired;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Nagle timer for the batching layer: transmit whatever the outbound
+   buffer holds every [period] seconds, so a buffered update never waits
+   longer than one period for the size threshold. A crashed node's buffer
+   was already cleared by [crash], so skipping while down loses nothing. *)
+let batch_flusher c nd ~period =
+  let rec loop () =
+    if not nd.stop then begin
+      Sim.Engine.delay period;
+      if nd.up && not nd.stop then flush c nd;
       loop ()
     end
   in
@@ -751,6 +854,12 @@ let start c =
           Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
           Sim.Engine.spawn c.engine (fun () -> data_server c nd);
           Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd);
+          (match (c.cfg.Config.batch_max, c.cfg.Config.batch_flush_interval)
+           with
+          | n, Some period when n > 1 ->
+              Sim.Engine.spawn c.engine (fun () ->
+                  batch_flusher c nd ~period)
+          | _ -> ());
           (match c.cfg.Config.anti_entropy_period with
           | None -> ()
           | Some period ->
@@ -874,3 +983,17 @@ let invalidate_script c ~script =
 let node_active nd = nd.active
 let node_up nd = nd.up
 let fault c = c.fault
+
+(* Fold each node's directory hint statistics into its counters. Not
+   cumulative-safe: call once, after the run, before reading counters
+   (the runner does). No-op counters stay absent when hints are off, so
+   hint-less runs keep the pre-hint counter set. *)
+let record_hint_stats c =
+  Array.iter
+    (fun nd ->
+      let saved, false_hints = Cache.Directory.hint_stats nd.dir in
+      if saved > 0 then
+        Metrics.Counter.add nd.counters K.hint_probes_saved saved;
+      if false_hints > 0 then
+        Metrics.Counter.add nd.counters K.hint_false false_hints)
+    c.nodes

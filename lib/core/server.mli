@@ -149,4 +149,28 @@ module K : sig
   val anti_entropy_rounds : string
   val anti_entropy_pulled : string
   val router_retries : string
+
+  (** Update batching: [batches_sent] counts [Msg.Batch] envelopes
+      transmitted (only buffers of two or more updates are wrapped),
+      [batch_updates] the updates those envelopes carried, and
+      [batch_coalesced] buffered updates overwritten by a newer update to
+      the same key before transmission. [info_msgs]/[info_bytes] count
+      directory-update unicasts actually sent and their wire bytes. *)
+  val batches_sent : string
+  val batch_updates : string
+  val batch_coalesced : string
+  val info_msgs : string
+  val info_bytes : string
+
+  (** Hint index: [hint_probes_saved] is table probes skipped thanks to
+      the key→owner hints, [hint_false] lookups where every hinted probe
+      missed and the full-scan fallback ran. *)
+  val hint_probes_saved : string
+  val hint_false : string
 end
+
+(** [record_hint_stats cluster] folds each node's directory hint
+    statistics into its counters ({!K.hint_probes_saved}/{!K.hint_false},
+    only when nonzero). Call once, after the run, before reading
+    counters; the cluster runner does this. *)
+val record_hint_stats : cluster -> unit

@@ -12,6 +12,7 @@ type t = {
   mutable next_seq : int;
   mutable cancelled_count : int;
   mutable n_suspended : int;
+  mutable n_events : int;  (* events executed by [run], for perf reporting *)
   queue : event Pqueue.t;
 }
 
@@ -28,6 +29,7 @@ let create () =
     next_seq = 0;
     cancelled_count = 0;
     n_suspended = 0;
+    n_events = 0;
     queue = Pqueue.create ~cmp:cmp_event;
   }
 
@@ -56,6 +58,7 @@ let pending t =
   Pqueue.length t.queue
 
 let suspended t = t.n_suspended
+let events_processed t = t.n_events
 
 (* ------------------------------------------------------------------ *)
 (* Effects *)
@@ -149,6 +152,7 @@ let run ?until ?(detect_deadlock = false) t =
         | _ ->
             ignore (Pqueue.pop t.queue);
             t.clock <- ev.time;
+            t.n_events <- t.n_events + 1;
             ev.action ();
             loop ())
   in

@@ -58,6 +58,10 @@ val pending : t -> int
     {!suspend}. *)
 val suspended : t -> int
 
+(** [events_processed t] is the cumulative number of events {!run} has
+    executed — the denominator of the wall-clock events/sec benchmark. *)
+val events_processed : t -> int
+
 (** {1 Process-side operations} *)
 
 (** [now ()] is the current simulated time. *)
