@@ -13,7 +13,7 @@
             ablation-policy ablation-locking ablation-consistency
             ablation-protocol ablation-routing ablation-threshold
             ablation-loss ablation-faults ablation-partition
-            ablation-batching micro *)
+            ablation-batching breakdown micro *)
 
 let seed = 42
 
@@ -670,20 +670,60 @@ let run_perf () =
     "End-to-end (4 nodes, %d requests, %d sim events): %.3f s wall -> %.0f \
      requests/s, %.0f events/s\n"
     n_requests events wall rps eps;
+  let module J = Metrics.Json in
+  (* Simulated response-time quantiles ride along (in ms) so a perf PR that
+     accidentally changes behaviour — not just speed — shows up here too. *)
+  let ms q =
+    J.float_opt
+      (Option.map
+         (fun v -> v *. 1000.)
+         (Metrics.Sample.quantile_opt r.Swala.Cluster_runner.response q))
+  in
   let oc = open_out "BENCH_perf.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"swala-e2e-coop-4node\",\n\
-    \  \"nodes\": 4,\n\
-    \  \"requests\": %d,\n\
-    \  \"sim_events\": %d,\n\
-    \  \"wall_seconds\": %.6f,\n\
-    \  \"requests_per_sec_wall\": %.1f,\n\
-    \  \"events_per_sec_wall\": %.1f\n\
-     }\n"
-    n_requests events wall rps eps;
+  J.write oc
+    (J.Obj
+       [
+         ("benchmark", J.Str "swala-e2e-coop-4node");
+         ("nodes", J.Int 4);
+         ("requests", J.Int n_requests);
+         ("sim_events", J.Int events);
+         ("wall_seconds", J.Float wall);
+         ("requests_per_sec_wall", J.Float rps);
+         ("events_per_sec_wall", J.Float eps);
+         ("p50_ms", ms 0.5);
+         ("p99_ms", ms 0.99);
+         ( "max_ms",
+           J.float_opt
+             (Option.map
+                (fun v -> v *. 1000.)
+                (Metrics.Sample.max_opt r.Swala.Cluster_runner.response)) );
+       ]);
+  output_char oc '\n';
   close_out oc;
-  Printf.printf "Wrote BENCH_perf.json\n\n"
+  let oc = open_out "BENCH_metrics.json" in
+  output_string oc (Swala.Cluster_runner.result_to_json r);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Wrote BENCH_perf.json and BENCH_metrics.json\n\n"
+
+(* Traced replay: where does a request's time go, and what are the
+   contention profiles? Runs the same cooperative 4-node coop-mix replay
+   as the perf target, with tracing on. *)
+let bench_breakdown () =
+  let n_requests = 2_000 in
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:n_requests ~n_unique:1400 ~locality:0.08 ()
+  in
+  let cfg =
+    Swala.Config.make ~n_nodes:4 ~cache_mode:Swala.Config.Cooperative
+      ~trace:true ~seed ()
+  in
+  let r = Swala.Cluster_runner.run cfg ~trace ~n_streams:16 () in
+  (match r.Swala.Cluster_runner.tracer with
+  | None -> ()
+  | Some tr -> emit (Swala.Trace_report.breakdown_table tr ~root:"request"));
+  emit
+    (Swala.Trace_report.histogram_table r.Swala.Cluster_runner.wait_histograms)
 
 let run_micro () =
   let open Bechamel in
@@ -738,6 +778,7 @@ let all_targets =
     ("ablation-faults", bench_ablation_faults);
     ("ablation-partition", bench_ablation_partition);
     ("ablation-batching", bench_ablation_batching);
+    ("breakdown", bench_breakdown);
     ("micro", run_micro);
   ]
 

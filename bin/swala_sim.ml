@@ -240,6 +240,34 @@ let fetch_backoff_t =
     & info [ "fetch-backoff" ] ~docv:"F"
         ~doc:"Multiplier applied to the fetch timeout on each retry.")
 
+let trace_file_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a causal trace of the run and write it as Chrome \
+           trace-event JSON (load in Perfetto or chrome://tracing): one \
+           track per node plus a clients track, one span tree per \
+           request, instants for faults. Off by default; without it the \
+           hot path carries no tracing work.")
+
+let trace_breakdown_t =
+  Arg.(
+    value & flag
+    & info [ "trace-breakdown" ]
+        ~doc:
+          "Trace the run and print a per-phase latency-breakdown table \
+           (self time by span name) plus lock/mailbox/CPU contention \
+           histograms.")
+
+let metrics_out_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's counters, response-time summaries and wait \
+           histograms as JSON to FILE.")
+
 let trace_of_workload ~workload ~seed ~requests =
   match workload with
   | "adl" -> Ok (Workload.Synthetic.adl_scaled ~seed ~n:requests)
@@ -257,7 +285,8 @@ let trace_of_workload ~workload ~seed ~requests =
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
-    fetch_backoff batch_flush_interval batch_max dir_hints =
+    fetch_backoff batch_flush_interval batch_max dir_hints trace_file
+    trace_breakdown metrics_out =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -291,7 +320,9 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
           ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
           ~fetch_backoff ~anti_entropy_period ~batch_max
-          ~batch_flush_interval ~dir_hints ~seed ()
+          ~batch_flush_interval ~dir_hints
+          ~trace:(trace_file <> None || trace_breakdown)
+          ~seed ()
       in
       (* Validation otherwise happens inside the run; surface bad flag
          combinations (e.g. faults without --fetch-timeout) as a clean
@@ -333,11 +364,14 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       Printf.printf "mean response time        %.4f s\n"
         (Swala.Cluster_runner.mean_response result);
       (let r = result.Swala.Cluster_runner.response in
-       if Metrics.Sample.count r > 0 then
-         Printf.printf "median / p95 / max        %.4f / %.4f / %.4f s\n"
-           (Metrics.Sample.median r)
-           (Metrics.Sample.quantile r 0.95)
-           (Metrics.Sample.max r));
+       let fmt = function
+         | None -> "-"
+         | Some v -> Printf.sprintf "%.4f" v
+       in
+       Printf.printf "median / p95 / max        %s / %s / %s s\n"
+         (fmt (Metrics.Sample.median_opt r))
+         (fmt (Metrics.Sample.quantile_opt r 0.95))
+         (fmt (Metrics.Sample.max_opt r)));
       Printf.printf "cache hits (local+remote) %d (hit ratio %.1f%% of CGI)\n"
         result.Swala.Cluster_runner.hits
         (100. *. result.Swala.Cluster_runner.hit_ratio);
@@ -352,7 +386,33 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       let c = result.Swala.Cluster_runner.counters in
       List.iter
         (fun name -> Printf.printf "  %-24s %d\n" name (Metrics.Counter.get c name))
-        (Metrics.Counter.names c)
+        (Metrics.Counter.names c);
+      (if trace_breakdown then
+         match result.Swala.Cluster_runner.tracer with
+         | None -> ()
+         | Some tr ->
+             print_newline ();
+             Metrics.Table.print (Swala.Trace_report.breakdown_table tr ~root:"request");
+             Metrics.Table.print
+               (Swala.Trace_report.histogram_table
+                  result.Swala.Cluster_runner.wait_histograms));
+      (match (trace_file, result.Swala.Cluster_runner.tracer) with
+      | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc (Metrics.Trace.to_chrome_json tr);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %d spans to %s (Perfetto / chrome://tracing)\n"
+            (Metrics.Trace.n_spans tr) path
+      | _ -> ());
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Swala.Cluster_runner.result_to_json result);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote metrics JSON to %s\n" path
 
 let run_cmd =
   let doc = "Run a cluster simulation and report response times and counters." in
@@ -364,7 +424,7 @@ let run_cmd =
       $ delay_rate_t $ delay_mean_t $ crash_mtbf_t $ crash_mttr_t
       $ fault_horizon_t $ partitions_t $ anti_entropy_t $ fetch_timeout_t
       $ fetch_retries_t $ fetch_backoff_t $ batch_flush_t $ batch_max_t
-      $ dir_hints_t)
+      $ dir_hints_t $ trace_file_t $ trace_breakdown_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -426,6 +486,8 @@ let list_cmd =
               "  ablation-faults       drop-rate x crash-frequency degradation";
               "  ablation-partition    partition duration x anti-entropy period";
               "  ablation-batching     directory-update batching: flush x nodes";
+              "  breakdown             traced replay: latency breakdown + \
+               contention histograms";
               "  micro                 Bechamel micro-benchmarks + wall-clock \
                e2e (BENCH_perf.json)";
             ])

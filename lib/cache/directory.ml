@@ -34,7 +34,7 @@ type t = {
 }
 
 let create ?(granularity = Per_table) ?(lock_overhead = 2e-6) ?(scan_cost = 0.)
-    ?(charge = Sim.Engine.delay) ?(hints = false) ~nodes () =
+    ?(charge = Sim.Engine.delay) ?(hints = false) ?lock_observe ~nodes () =
   if nodes < 1 then invalid_arg "Directory.create: nodes must be >= 1";
   if lock_overhead < 0. then invalid_arg "Directory.create: negative overhead";
   if scan_cost < 0. then invalid_arg "Directory.create: negative scan cost";
@@ -45,11 +45,11 @@ let create ?(granularity = Per_table) ?(lock_overhead = 2e-6) ?(scan_cost = 0.)
     lock_overhead;
     scan_cost;
     charge_fn = charge;
-    global_lock = Sim.Rwlock.create ();
+    global_lock = Sim.Rwlock.create ?observe:lock_observe ();
     tables =
       Array.init nodes (fun _ ->
           {
-            lock = Sim.Rwlock.create ();
+            lock = Sim.Rwlock.create ?observe:lock_observe ();
             entries = Hashtbl.create 64;
             last_touch = 0.;
             digest_xor = 0;

@@ -27,6 +27,7 @@ val create :
   ?scan_cost:float ->
   ?charge:(float -> unit) ->
   ?hints:bool ->
+  ?lock_observe:(kind:[ `Read | `Write ] -> wait:float -> depth:int -> unit) ->
   nodes:int ->
   unit ->
   t
@@ -44,7 +45,12 @@ val create :
     be stale but are never authoritative: a false hint (every hinted
     probe misses) falls back to the full ordered scan, exactly like the
     paper tolerates false hits/misses. The owner set is an [int] bitmask,
-    so [hints] caps [nodes] at [Sys.int_size - 2]. *)
+    so [hints] caps [nodes] at [Sys.int_size - 2].
+
+    [lock_observe] is installed on the global lock and every table lock
+    (see {!Sim.Rwlock.create}): one observation per acquisition, with the
+    access kind and simulated wait. Contention profiling only — it does
+    not affect timing. *)
 
 (** [lookup t key] probes every table (self first is the caller's choice;
     this probes in index order) and returns the first live entry. Expired

@@ -1,4 +1,4 @@
-let info ?(should_abort = fun () -> false) net endpoints ~src msg =
+let info ?(should_abort = fun () -> false) ?(span = 0) net endpoints ~src msg =
   let bytes = Msg.info_bytes msg in
   let sent = ref 0 in
   (* The fan-out pays one NIC transmission per peer, so simulated time
@@ -14,14 +14,14 @@ let info ?(should_abort = fun () -> false) net endpoints ~src msg =
          if ep.Endpoint.node <> src then begin
            Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes
              ep.Endpoint.info_mb
-             { Msg.info = msg; ack = None };
+             { Msg.info = msg; ack = None; span };
            incr sent
          end)
        endpoints
    with Exit -> ());
   !sent
 
-let info_sync net endpoints ~src msg =
+let info_sync ?(span = 0) net endpoints ~src msg =
   let bytes = Msg.info_bytes msg in
   let ack = Sim.Mailbox.create () in
   let sent = ref 0 in
@@ -29,7 +29,7 @@ let info_sync net endpoints ~src msg =
     (fun (ep : Endpoint.t) ->
       if ep.Endpoint.node <> src then begin
         Sim.Net.send net ~src ~dst:ep.Endpoint.node ~bytes ep.Endpoint.info_mb
-          { Msg.info = msg; ack = Some (src, ack) };
+          { Msg.info = msg; ack = Some (src, ack); span };
         incr sent
       end)
     endpoints;
@@ -58,7 +58,8 @@ let fetch net endpoints ~src ~owner req =
         ~bytes:(Msg.fetch_request_bytes req)
         ep.Endpoint.data_mb req
 
-let fetch_sync net endpoints ~src ~owner ~timeout ~retries ~backoff key =
+let fetch_sync ?(span = 0) net endpoints ~src ~owner ~timeout ~retries ~backoff
+    key =
   if timeout <= 0. then invalid_arg "Broadcast.fetch_sync: timeout must be > 0";
   if retries < 0 then invalid_arg "Broadcast.fetch_sync: retries must be >= 0";
   if backoff < 1. then invalid_arg "Broadcast.fetch_sync: backoff must be >= 1";
@@ -66,7 +67,7 @@ let fetch_sync net endpoints ~src ~owner ~timeout ~retries ~backoff key =
     (* A fresh reply mailbox per attempt: a reply to an abandoned attempt
        must not satisfy a later one out of order. *)
     let reply = Sim.Mailbox.create () in
-    fetch net endpoints ~src ~owner { Msg.key; requester = src; reply };
+    fetch net endpoints ~src ~owner { Msg.key; requester = src; reply; span };
     match Sim.Mailbox.recv_timeout reply ~timeout with
     | Some r -> (Some r, n)
     | None -> if n < retries then attempt (n + 1) (timeout *. backoff)

@@ -17,9 +17,13 @@
     leaves a {e genuinely partial} replica update — some peers applied the
     insert, the rest never heard of it — which is the divergence the
     paper's weak-consistency model allows and the anti-entropy daemon
-    repairs. Must run in a process. *)
+    repairs. Must run in a process.
+
+    [span] (default [0] = untraced) is stamped into each envelope so
+    receivers can parent their apply spans on the originating request. *)
 val info :
   ?should_abort:(unit -> bool) ->
+  ?span:int ->
   Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
 
 (** [sync net endpoints ~src ~peer req] sends one anti-entropy digest
@@ -32,8 +36,10 @@ val sync :
 
 (** [info_sync net endpoints ~src msg] sends [msg] with acknowledgement
     requests and blocks until every peer has applied it — the strong
-    protocol of the consistency ablation. Returns the number of peers. *)
+    protocol of the consistency ablation. Returns the number of peers.
+    [span] as in {!info}. *)
 val info_sync :
+  ?span:int ->
   Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
 
 (** [fetch net endpoints ~src ~owner req] sends a data-fetch request to
@@ -55,7 +61,9 @@ val fetch :
     Requires [timeout > 0], [retries >= 0], [backoff >= 1]. Each attempt
     uses a fresh reply mailbox, so a straggling reply to an abandoned
     attempt is ignored rather than mistaken for the current one. Must run
-    in a process. *)
+    in a process. [span] as in {!info}, stamped into each attempt's
+    request. *)
 val fetch_sync :
+  ?span:int ->
   Sim.Net.t -> Endpoint.t array -> src:int -> owner:int -> timeout:float ->
   retries:int -> backoff:float -> string -> Msg.fetch_reply option * int

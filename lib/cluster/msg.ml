@@ -6,6 +6,7 @@ type info =
 type info_envelope = {
   info : info;
   ack : (int * unit Sim.Mailbox.t) option;
+  span : int;
 }
 
 type fetch_reply =
@@ -16,6 +17,7 @@ type fetch_request = {
   key : string;
   requester : int;
   reply : fetch_reply Sim.Mailbox.t;
+  span : int;
 }
 
 type digest = { n_entries : int; hash : int }
@@ -26,6 +28,7 @@ type sync_request = {
   from_node : int;
   digests : digest array;
   sync_reply : sync_reply Sim.Mailbox.t;
+  span : int;
 }
 
 (* Wire-size estimates: key text plus a fixed envelope. *)

@@ -23,6 +23,9 @@ type info =
 type info_envelope = {
   info : info;
   ack : (int * unit Sim.Mailbox.t) option;  (** (sender endpoint, inbox) *)
+  span : int;
+      (** originating span id for causal tracing ([0] = untraced); carries
+          no simulated bytes — it models nothing the 1998 protocol sent *)
 }
 
 (** Reply to a remote-cache fetch. [Miss] is the protocol's "false hit"
@@ -39,6 +42,7 @@ type fetch_request = {
   key : string;
   requester : int;  (** endpoint id awaiting the reply *)
   reply : fetch_reply Sim.Mailbox.t;
+  span : int;  (** originating span id for causal tracing; [0] = untraced *)
 }
 
 (** {1 Anti-entropy (directory repair)}
@@ -66,6 +70,7 @@ type sync_request = {
   from_node : int;  (** requesting endpoint, for the reply's address *)
   digests : digest array;  (** indexed by table/node id *)
   sync_reply : sync_reply Sim.Mailbox.t;
+  span : int;  (** originating span id for causal tracing; [0] = untraced *)
 }
 
 (** Approximate wire sizes, used to charge the network model. A [Batch]

@@ -14,6 +14,8 @@ type result = {
   net_lost : int;
   net_lost_partition : int;
   n_events : int;
+  tracer : Metrics.Trace.t option;
+  wait_histograms : (string * Metrics.Histogram.t) list;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -34,6 +36,8 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
     Server.create_cluster engine cfg ~registry ~n_client_endpoints:n_streams
   in
   let router = Option.map Router.create router in
+  let tracer = Server.tracer cluster in
+  let client_track = cfg.Config.n_nodes in
   let streams = split_streams trace n_streams in
   let response = Metrics.Sample.create () in
   let cgi_response = Metrics.Sample.create () in
@@ -53,6 +57,26 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
                 (fun item ->
                   let req = Workload.Trace.to_request item in
                   let t0 = Sim.Engine.now () in
+                  (* Each client request roots its own span tree; the id
+                     rides the fiber-local slot into [Server.submit] and
+                     from there across the cluster. *)
+                  let root =
+                    match tracer with
+                    | None -> 0
+                    | Some tr ->
+                        let id =
+                          Metrics.Trace.begin_span tr ~track:client_track
+                            ~name:"request"
+                            ~attrs:
+                              [
+                                ("path", req.Http.Request.uri.Http.Uri.path);
+                                ("stream", string_of_int s);
+                              ]
+                            ()
+                        in
+                        Sim.Engine.set_local id;
+                        id
+                  in
                   let (_ : Http.Response.t) =
                     match router with
                     | Some r ->
@@ -62,6 +86,11 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
                         Router.submit r cluster ~client ~node:target req
                     | None -> Server.submit cluster ~client ~node:pinned req
                   in
+                  (match tracer with
+                  | None -> ()
+                  | Some tr ->
+                      Metrics.Trace.end_span tr root;
+                      Sim.Engine.set_local 0);
                   let dt = Sim.Engine.now () -. t0 in
                   Metrics.Sample.add response dt;
                   observe ~time:(Sim.Engine.now ()) dt;
@@ -137,7 +166,78 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
       | Some f -> Sim.Fault.drops_partition f
       | None -> 0);
     n_events = Sim.Engine.events_processed engine;
+    tracer;
+    wait_histograms = Server.wait_histograms cluster;
   }
+
+(* JSON rendering of a run's metrics (the [--metrics-out] payload, also
+   written by the bench harness). Statistics over empty collections render
+   as null rather than crashing or inventing a zero. *)
+
+let sample_json s =
+  let module J = Metrics.Json in
+  J.Obj
+    [
+      ("count", J.Int (Metrics.Sample.count s));
+      ("mean", J.Float (Metrics.Sample.mean s));
+      ("p50", J.float_opt (Metrics.Sample.quantile_opt s 0.5));
+      ("p95", J.float_opt (Metrics.Sample.quantile_opt s 0.95));
+      ("p99", J.float_opt (Metrics.Sample.quantile_opt s 0.99));
+      ("min", J.float_opt (Metrics.Sample.min_opt s));
+      ("max", J.float_opt (Metrics.Sample.max_opt s));
+    ]
+
+let histogram_json h =
+  let module J = Metrics.Json in
+  let module H = Metrics.Histogram in
+  J.Obj
+    [
+      ("count", J.Int (H.count h));
+      ("mean", J.Float (H.mean h));
+      ("p50", J.float_opt (H.quantile_opt h 0.5));
+      ("p99", J.float_opt (H.quantile_opt h 0.99));
+      ("min", J.float_opt (H.min_opt h));
+      ("max", J.float_opt (H.max_opt h));
+      ( "buckets",
+        (* The overflow bucket's bound is infinity, rendered as null. *)
+        J.List
+          (List.map
+             (fun (le, count) ->
+               J.Obj [ ("le", J.Float le); ("count", J.Int count) ])
+             (H.buckets h)) );
+    ]
+
+let result_to_json r =
+  let module J = Metrics.Json in
+  let rd, wr = r.dir_locks in
+  J.to_string
+    (J.Obj
+       [
+         ("duration_s", J.Float r.duration);
+         ("n_requests", J.Int r.n_requests);
+         ("n_events", J.Int r.n_events);
+         ("hits", J.Int r.hits);
+         ("hit_ratio", J.Float r.hit_ratio);
+         ("net_lost", J.Int r.net_lost);
+         ("net_lost_partition", J.Int r.net_lost_partition);
+         ( "dir_lock_acquisitions",
+           J.Obj [ ("read", J.Int rd); ("write", J.Int wr) ] );
+         ( "utilisation",
+           J.List (Array.to_list (Array.map (fun u -> J.Float u) r.utilisation))
+         );
+         ("response_s", sample_json r.response);
+         ("cgi_response_s", sample_json r.cgi_response);
+         ("file_response_s", sample_json r.file_response);
+         ( "counters",
+           J.Obj
+             (List.map
+                (fun n -> (n, J.Int (Metrics.Counter.get r.counters n)))
+                (Metrics.Counter.names r.counters)) );
+         ( "wait_histograms",
+           J.Obj
+             (List.map (fun (name, h) -> (name, histogram_json h))
+                r.wait_histograms) );
+       ])
 
 let default_registry trace =
   let registry = Cgi.Registry.create () in

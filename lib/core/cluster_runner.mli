@@ -30,9 +30,22 @@ type result = {
   n_events : int;
       (** simulation events the engine executed during the run — the
           denominator of the wall-clock events/sec benchmark *)
+  tracer : Metrics.Trace.t option;
+      (** the causal tracer, when [cfg.trace] was set: one ["request"]
+          root span per client request, with the server-side tree hanging
+          off it *)
+  wait_histograms : (string * Metrics.Histogram.t) list;
+      (** cluster-wide contention histograms (see
+          {!Server.wait_histograms}); empty when tracing is off *)
 }
 
 val mean_response : result -> float
+
+(** [result_to_json r] renders the run's metrics — counters, response-time
+    summaries, utilisation, lock acquisitions, wait histograms — as one
+    JSON object (no trailing newline). Statistics over empty samples
+    render as [null]. *)
+val result_to_json : result -> string
 
 (** [run cfg ~trace ~n_streams ?warmup ?assign ?router ()] builds a fresh
     engine and cluster, replays [trace], and returns collected metrics.

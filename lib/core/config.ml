@@ -90,6 +90,7 @@ type t = {
   batch_flush_interval : float option;
   dir_hints : bool;
   fs_cache_hit : float;
+  trace : bool;
   seed : int;
 }
 
@@ -129,6 +130,7 @@ let default =
     batch_flush_interval = None;
     dir_hints = false;
     fs_cache_hit = 0.95;
+    trace = false;
     seed = 42;
   }
 
@@ -159,7 +161,8 @@ let make ?(n_nodes = default.n_nodes)
     ?(batch_max = default.batch_max)
     ?(batch_flush_interval = default.batch_flush_interval)
     ?(dir_hints = default.dir_hints)
-    ?(fs_cache_hit = default.fs_cache_hit) ?(seed = default.seed) () =
+    ?(fs_cache_hit = default.fs_cache_hit) ?(trace = default.trace)
+    ?(seed = default.seed) () =
   {
     n_nodes;
     threads_per_node;
@@ -195,6 +198,7 @@ let make ?(n_nodes = default.n_nodes)
     batch_flush_interval;
     dir_hints;
     fs_cache_hit;
+    trace;
     seed;
   }
 

@@ -124,6 +124,11 @@ type t = {
           so lookups probe only hinted tables (stale-tolerant; false
           hints fall back to the full scan). Default [false] *)
   fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
+  trace : bool;
+      (** record causal request spans and lock-wait histograms. Default
+          [false]; tracing is observation-only, so every simulated
+          quantity (counters, response times, replay digests) is
+          byte-identical with it on or off *)
   seed : int;
 }
 
@@ -167,6 +172,7 @@ val make :
   ?batch_flush_interval:float option ->
   ?dir_hints:bool ->
   ?fs_cache_hit:float ->
+  ?trace:bool ->
   ?seed:int ->
   unit ->
   t

@@ -248,7 +248,7 @@ let table4_run ~seed ~ups ~n_requests =
             Sim.Net.post (Server.net cluster) ~src:(1 + (!k mod 7)) ~dst:0
               ~bytes:128
               (Server.node_info_mailbox (Server.node cluster 0))
-              { Cluster.Msg.info = Cluster.Msg.Insert meta; ack = None };
+              { Cluster.Msg.info = Cluster.Msg.Insert meta; ack = None; span = 0 };
             loop ()
           end
         in

@@ -84,6 +84,15 @@ let submit t cluster ~client ~node req =
       let alt = steer cluster ((node + 1) mod n) in
       if Server.node_up (Server.node cluster alt) then begin
         t.retries <- t.retries + 1;
+        (* Resubmissions are rare and diagnostic — mark each on the client
+           track so the timeline shows which requests needed a second
+           connection. *)
+        (match Server.tracer cluster with
+        | None -> ()
+        | Some tr ->
+            Metrics.Trace.instant tr ~track:n ~name:"router.retry"
+              ~attrs:[ ("node", string_of_int alt) ]
+              ());
         go alt (attempts + 1)
       end
       else resp (* nobody is up; the 503 is the truthful answer *)

@@ -52,6 +52,22 @@ type env = {
   req : Http.Request.t;
   client : int;
   resume : Http.Response.t Sim.Engine.resumer;
+  span : int;  (* submitting request's span id; 0 when tracing is off *)
+}
+
+(* Cluster-wide contention histograms, allocated only when tracing. The
+   observers installed on the primitives merely record into these — they
+   never delay, suspend or schedule, so enabling them cannot change any
+   simulated quantity. *)
+type waits = {
+  dir_rd_wait : Metrics.Histogram.t;
+  dir_wr_wait : Metrics.Histogram.t;
+  dir_queue : Metrics.Histogram.t;
+  listen_wait : Metrics.Histogram.t;
+  listen_depth : Metrics.Histogram.t;
+  cpu_wait : Metrics.Histogram.t;
+  cpu_queue : Metrics.Histogram.t;
+  disk_wait : Metrics.Histogram.t;
 }
 
 type t = {
@@ -84,6 +100,8 @@ type cluster = {
   fault : Sim.Fault.t option;
   mutable fault_handles : Sim.Engine.handle list;
       (* pending crash/restart events, cancelled by [stop] *)
+  tracer : Metrics.Trace.t option;
+  waits : waits option;
 }
 
 let engine c = c.engine
@@ -122,6 +140,55 @@ let anti_entropy_seed_salt = 0x0A17E57
 
 let create_cluster engine cfg ~registry ~n_client_endpoints =
   Config.validate cfg;
+  let module H = Metrics.Histogram in
+  let tracer =
+    if cfg.Config.trace then
+      Some
+        (Metrics.Trace.create
+           ~clock:(fun () -> Sim.Engine.current_time engine)
+           ())
+    else None
+  in
+  let waits =
+    if cfg.Config.trace then
+      Some
+        {
+          dir_rd_wait = H.create ();
+          dir_wr_wait = H.create ();
+          dir_queue = H.create ~bounds:H.depth_bounds ();
+          listen_wait = H.create ();
+          listen_depth = H.create ~bounds:H.depth_bounds ();
+          cpu_wait = H.create ();
+          cpu_queue = H.create ~bounds:H.depth_bounds ();
+          disk_wait = H.create ();
+        }
+    else None
+  in
+  let cpu_observe =
+    Option.map
+      (fun w ~wait ~depth ->
+        H.add w.cpu_wait wait;
+        H.add w.cpu_queue (float_of_int depth))
+      waits
+  in
+  let disk_observe =
+    Option.map (fun w ~wait ~depth:_ -> H.add w.disk_wait wait) waits
+  in
+  let lock_observe =
+    Option.map
+      (fun w ~kind ~wait ~depth ->
+        (match kind with
+        | `Read -> H.add w.dir_rd_wait wait
+        | `Write -> H.add w.dir_wr_wait wait);
+        H.add w.dir_queue (float_of_int depth))
+      waits
+  in
+  let listen_on_wait =
+    Option.map (fun w dt -> H.add w.listen_wait dt) waits
+  in
+  let listen_on_depth =
+    Option.map (fun w d -> H.add w.listen_depth (float_of_int d)) waits
+  in
   let root = Sim.Rng.create cfg.Config.seed in
   let ae_root = Sim.Rng.create (cfg.Config.seed lxor anti_entropy_seed_salt) in
   let fault =
@@ -143,16 +210,18 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
         let rng = Sim.Rng.split root in
         let clock () = Sim.Engine.current_time engine in
         let cpu =
-          Sim.Cpu.create ~speed:cfg.Config.cpu_speed engine
-            ~cores:cfg.Config.cores_per_node
+          Sim.Cpu.create ~speed:cfg.Config.cpu_speed ?observe:cpu_observe
+            engine ~cores:cfg.Config.cores_per_node
         in
         {
           id;
           cpu;
-          disk = Sim.Disk.create engine;
+          disk = Sim.Disk.create ?observe:disk_observe engine;
           rng;
           ae_rng = Sim.Rng.split ae_root;
-          listen = Sim.Mailbox.create ();
+          listen =
+            Sim.Mailbox.create ?on_wait:listen_on_wait
+              ?on_depth:listen_on_depth ();
           endpoint = Cluster.Endpoint.make ~node:id;
           store =
             Cache.Store.create ~capacity:cfg.Config.cache_capacity
@@ -164,7 +233,8 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
               ~lock_overhead:cfg.Config.dir_lock_overhead
               ~scan_cost:cfg.Config.dir_scan_cost
               ~charge:(fun s -> Sim.Cpu.consume cpu s)
-              ~hints:cfg.Config.dir_hints ~nodes:cfg.Config.n_nodes ();
+              ~hints:cfg.Config.dir_hints ?lock_observe
+              ~nodes:cfg.Config.n_nodes ();
           counters = Metrics.Counter.create ();
           in_flight = Hashtbl.create 64;
           batch_buf = [];
@@ -174,7 +244,91 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
         })
   in
   let endpoints = Array.map (fun nd -> nd.endpoint) nodes in
-  { engine; net; cfg; registry; nodes; endpoints; fault; fault_handles = [] }
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      Array.iter
+        (fun nd ->
+          Metrics.Trace.set_track_name tr nd.id
+            (Printf.sprintf "node %d" nd.id))
+        nodes;
+      Metrics.Trace.set_track_name tr cfg.Config.n_nodes "clients");
+  {
+    engine;
+    net;
+    cfg;
+    registry;
+    nodes;
+    endpoints;
+    fault;
+    fault_handles = [];
+    tracer;
+    waits;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tracing helpers.
+
+   The current span id rides in the engine's fiber-local slot, so it
+   survives blocking operations and is inherited by spawned children.
+   With tracing off every helper is a direct call through to the wrapped
+   work — no clock reads, no effects, no allocation — which is what keeps
+   untraced runs byte-identical. *)
+
+let tracer c = c.tracer
+
+let wait_histograms c =
+  match c.waits with
+  | None -> []
+  | Some w ->
+      [
+        ("dir.rd_wait", w.dir_rd_wait);
+        ("dir.wr_wait", w.dir_wr_wait);
+        ("dir.queue", w.dir_queue);
+        ("listen.wait", w.listen_wait);
+        ("listen.depth", w.listen_depth);
+        ("cpu.wait", w.cpu_wait);
+        ("cpu.queue", w.cpu_queue);
+        ("disk.wait", w.disk_wait);
+      ]
+
+(* The span to stamp into an outgoing message: the caller's current span.
+   Guarded so the trace-off path performs no effect at all. *)
+let span_of c =
+  match c.tracer with None -> 0 | Some _ -> Sim.Engine.get_local ()
+
+(* Run [f] inside a span on [nd]'s track. The parent defaults to the
+   caller's fiber-local span; the local is set to the new span for the
+   duration so nested spans and outgoing messages pick it up. *)
+let with_span ?parent ?attrs ?async c nd name f =
+  match c.tracer with
+  | None -> f ()
+  | Some tr ->
+      let saved = Sim.Engine.get_local () in
+      let parent = match parent with Some p -> p | None -> saved in
+      let id =
+        Metrics.Trace.begin_span tr ?attrs ?async ~parent ~track:nd.id ~name
+          ()
+      in
+      Sim.Engine.set_local id;
+      let finish () =
+        Metrics.Trace.end_span tr id;
+        Sim.Engine.set_local saved
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+(* Point events (crashes, heals); safe in engine-event context — the
+   tracer's clock is [Engine.current_time], not the process-only [now]. *)
+let emit_instant ?attrs c ~track name =
+  match c.tracer with
+  | None -> ()
+  | Some tr -> Metrics.Trace.instant tr ?attrs ~track ~name ()
 
 (* ------------------------------------------------------------------ *)
 (* Response helpers *)
@@ -200,8 +354,9 @@ let transfer_bytes resp =
   Http.Response.wire_size resp - Http.Response.body_size resp + declared
 
 let respond c nd env resp =
-  Sim.Net.transfer c.net ~src:nd.id ~dst:env.client
-    ~bytes:(transfer_bytes resp);
+  with_span c nd "respond" (fun () ->
+      Sim.Net.transfer c.net ~src:nd.id ~dst:env.client
+        ~bytes:(transfer_bytes resp));
   env.resume resp
 
 (* ------------------------------------------------------------------ *)
@@ -236,6 +391,7 @@ let cache_ctl_for c (script : Cgi.Script.t) meth =
    returns the broadcast messages to send after the client is answered
    (Figure 2 broadcasts after returning the result). *)
 let insert_result c nd ~key ~body ~exec_time ttl =
+  with_span c nd "insert" @@ fun () ->
   Sim.Cpu.consume nd.cpu c.cfg.Config.insert_cost;
   let created = now () in
   let meta =
@@ -272,17 +428,19 @@ let insert_result c nd ~key ~body ~exec_time ttl =
    per the configured consistency protocol, counting the unicasts and
    wire bytes actually sent. *)
 let dispatch c nd msg =
+  with_span c nd "broadcast" @@ fun () ->
+  let span = span_of c in
   let sent =
     match (c.cfg.Config.consistency, c.cfg.Config.broadcast_latency) with
     | Config.Strong, _ ->
         (* Block until every replica has applied the update. *)
-        Cluster.Broadcast.info_sync c.net c.endpoints ~src:nd.id msg
+        Cluster.Broadcast.info_sync ~span c.net c.endpoints ~src:nd.id msg
     | Config.Weak, None ->
         (* Interruptible: a crash landing mid-fan-out stops the loop,
            leaving the replica update genuinely partial. *)
         Cluster.Broadcast.info
           ~should_abort:(fun () -> not nd.up)
-          c.net c.endpoints ~src:nd.id msg
+          ~span c.net c.endpoints ~src:nd.id msg
     | Config.Weak, Some delay ->
         (* Ablation knob: deliver directory updates after a fixed delay,
            bypassing the network model, to widen or narrow the weak-
@@ -295,7 +453,7 @@ let dispatch c nd msg =
               ignore
                 (Sim.Engine.schedule_after c.engine delay (fun () ->
                      Sim.Mailbox.send ep.Cluster.Endpoint.info_mb
-                       { Cluster.Msg.info = msg; ack = None })
+                       { Cluster.Msg.info = msg; ack = None; span })
                   : Sim.Engine.handle)
             end)
           c.endpoints;
@@ -361,6 +519,9 @@ let send_broadcasts c nd msgs = List.iter (enqueue c nd) msgs
 (* CGI execution (Figure 2's "Exec CGI, tee results to file") *)
 
 let exec_cgi c nd (script : Cgi.Script.t) req key =
+  with_span c nd "cgi.exec"
+    ~attrs:[ ("script", script.Cgi.Script.name) ]
+  @@ fun () ->
   (match Hashtbl.find_opt nd.in_flight key with
   | Some n when n > 0 ->
       (* First kind of false miss: an identical request is already being
@@ -424,30 +585,35 @@ let exec_and_respond c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) =
 
 let serve_local c nd env (entry : Cache.Store.entry) =
   incr nd K.hit_local;
-  Sim.Cpu.consume nd.cpu c.cfg.Config.local_fetch_cost;
-  (* The result file is recently used, hence in the OS buffer cache. *)
-  Sim.Disk.read nd.disk ~bytes:entry.Cache.Store.meta.Cache.Meta.size
-    ~cached:true;
-  Sim.Cpu.consume nd.cpu
-    (c.cfg.Config.model.Config.per_byte_send
-    *. float_of_int (String.length entry.Cache.Store.body));
+  with_span c nd "hit.local" (fun () ->
+      Sim.Cpu.consume nd.cpu c.cfg.Config.local_fetch_cost;
+      (* The result file is recently used, hence in the OS buffer cache. *)
+      Sim.Disk.read nd.disk ~bytes:entry.Cache.Store.meta.Cache.Meta.size
+        ~cached:true;
+      Sim.Cpu.consume nd.cpu
+        (c.cfg.Config.model.Config.per_byte_send
+        *. float_of_int (String.length entry.Cache.Store.body)));
   respond c nd env (Http.Response.ok entry.Cache.Store.body)
 
 let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
     (meta : Cache.Meta.t) =
-  Sim.Cpu.consume nd.cpu c.cfg.Config.remote_fetch_cost;
   let owner = meta.Cache.Meta.owner in
   let answer =
+    with_span c nd "fetch.remote"
+      ~attrs:[ ("owner", string_of_int owner) ]
+    @@ fun () ->
+    Sim.Cpu.consume nd.cpu c.cfg.Config.remote_fetch_cost;
+    let span = span_of c in
     match c.cfg.Config.fetch_timeout with
     | None ->
         let reply = Sim.Mailbox.create () in
         Cluster.Broadcast.fetch c.net c.endpoints ~src:nd.id ~owner
-          { Cluster.Msg.key; requester = nd.id; reply };
+          { Cluster.Msg.key; requester = nd.id; reply; span };
         Some (Sim.Mailbox.recv reply)
     | Some timeout ->
         let reply, retries =
-          Cluster.Broadcast.fetch_sync c.net c.endpoints ~src:nd.id ~owner
-            ~timeout ~retries:c.cfg.Config.fetch_retries
+          Cluster.Broadcast.fetch_sync ~span c.net c.endpoints ~src:nd.id
+            ~owner ~timeout ~retries:c.cfg.Config.fetch_retries
             ~backoff:c.cfg.Config.fetch_backoff key
         in
         if retries > 0 then
@@ -501,7 +667,10 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
         | Some entry -> serve_local c nd env entry
         | None -> exec_and_respond c nd env script key ~ctl)
     | Config.Cooperative -> (
-        match Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:(now ()) key with
+        match
+          with_span c nd "dir.lookup" (fun () ->
+              Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:(now ()) key)
+        with
         | None -> exec_and_respond c nd env script key ~ctl
         | Some meta when meta.Cache.Meta.owner = nd.id -> (
             match Cache.Store.lookup nd.store key with
@@ -515,6 +684,9 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
         | Some meta -> fetch_remote c nd env script key ~ctl meta)
 
 let handle c nd env =
+  with_span c nd "handle" ~parent:env.span
+    ~attrs:[ ("path", env.req.Http.Request.uri.Http.Uri.path) ]
+  @@ fun () ->
   incr nd K.requests;
   if not nd.up then begin
     (* The node is crashed; the connection front-end answers on its behalf
@@ -579,17 +751,21 @@ let info_daemon c nd =
     let envelope = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.info_mb in
     if not nd.up then loop ()  (* in flight across the crash instant: lost *)
     else begin
-    (* The apply cost is per update: batching amortizes the envelope on
-       the wire, not the directory work at the receiver. *)
-    Sim.Cpu.consume nd.cpu
-      (float_of_int (info_updates envelope.Cluster.Msg.info)
-      *. c.cfg.Config.info_apply_cost);
-    apply_info nd envelope.Cluster.Msg.info;
-    (match envelope.Cluster.Msg.ack with
-    | Some (sender, ack) ->
-        incr nd K.acks_sent;
-        Sim.Net.send c.net ~src:nd.id ~dst:sender ~bytes:32 ack ()
-    | None -> ());
+    (* Causally a child of the originating request, but applied off its
+       critical path — hence async. *)
+    with_span c nd "info.apply" ~parent:envelope.Cluster.Msg.span ~async:true
+      (fun () ->
+        (* The apply cost is per update: batching amortizes the envelope on
+           the wire, not the directory work at the receiver. *)
+        Sim.Cpu.consume nd.cpu
+          (float_of_int (info_updates envelope.Cluster.Msg.info)
+          *. c.cfg.Config.info_apply_cost);
+        apply_info nd envelope.Cluster.Msg.info;
+        match envelope.Cluster.Msg.ack with
+        | Some (sender, ack) ->
+            incr nd K.acks_sent;
+            Sim.Net.send c.net ~src:nd.id ~dst:sender ~bytes:32 ack ()
+        | None -> ());
     loop ()
     end
   in
@@ -600,8 +776,13 @@ let data_server c nd =
     let fetch = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.data_mb in
     if not nd.up then loop ()  (* crashed owner: requester's fetch times out *)
     else begin
-    (* One thread per fetch, as in §4.1. *)
+    (* One thread per fetch, as in §4.1. Async: the serve runs on the
+       owner concurrently with the requester's wait, so its time is
+       already inside the requester's fetch.remote span. *)
     Sim.Engine.spawn_child (fun () ->
+        with_span c nd "fetch.serve" ~parent:fetch.Cluster.Msg.span
+          ~async:true
+        @@ fun () ->
         Sim.Cpu.consume nd.cpu c.cfg.Config.data_server_cost;
         let reply_msg =
           match Cache.Store.lookup nd.store fetch.Cluster.Msg.key with
@@ -738,6 +919,7 @@ let ae_merge c nd (reply : Cluster.Msg.sync_reply) ~peer =
 (* One anti-entropy round: digest everything, ask one seeded-random peer,
    merge whatever comes back before the (bounded) wait expires. *)
 let ae_round c nd ~period =
+  with_span c nd "ae.round" @@ fun () ->
   let n = Array.length c.nodes in
   let peer =
     let k = Sim.Rng.int nd.ae_rng (n - 1) in
@@ -751,7 +933,12 @@ let ae_round c nd ~period =
   in
   let reply_mb = Sim.Mailbox.create () in
   Cluster.Broadcast.sync c.net c.endpoints ~src:nd.id ~peer
-    { Cluster.Msg.from_node = nd.id; digests; sync_reply = reply_mb };
+    {
+      Cluster.Msg.from_node = nd.id;
+      digests;
+      sync_reply = reply_mb;
+      span = span_of c;
+    };
   let timeout = Option.value c.cfg.Config.fetch_timeout ~default:period in
   match Sim.Mailbox.recv_timeout reply_mb ~timeout with
   | None -> ()  (* peer down or partitioned away; next round, another peer *)
@@ -780,6 +967,8 @@ let sync_responder c nd =
     let req = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.sync_mb in
     if not nd.up then loop ()  (* in flight across the crash instant: lost *)
     else begin
+      with_span c nd "ae.respond" ~parent:req.Cluster.Msg.span ~async:true
+        (fun () ->
       Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
       let n = Array.length c.nodes in
       let tables = ref [] in
@@ -801,7 +990,7 @@ let sync_responder c nd =
       let reply = { Cluster.Msg.tables = !tables } in
       Sim.Net.send c.net ~src:nd.id ~dst:req.Cluster.Msg.from_node
         ~bytes:(Cluster.Msg.sync_reply_bytes reply)
-        req.Cluster.Msg.sync_reply reply;
+        req.Cluster.Msg.sync_reply reply);
       loop ()
     end
   in
@@ -834,7 +1023,10 @@ let batch_flusher c nd ~period =
   let rec loop () =
     if not nd.stop then begin
       Sim.Engine.delay period;
-      if nd.up && not nd.stop then flush c nd;
+      if nd.up && not nd.stop && nd.batch_buf <> [] then
+        (* Its own root tree: a batch mixes updates from several requests,
+           so no single request can claim the flush. *)
+        with_span c nd "batch.flush" (fun () -> flush c nd);
       loop ()
     end
   in
@@ -879,11 +1071,15 @@ let start c =
             (fun (down_at, up_at) ->
               if down_at >= now then
                 c.fault_handles <-
-                  Sim.Engine.schedule_at c.engine down_at (fun () -> crash nd)
+                  Sim.Engine.schedule_at c.engine down_at (fun () ->
+                      crash nd;
+                      emit_instant c ~track:nd.id "crash")
                   :: c.fault_handles;
               if up_at >= now then
                 c.fault_handles <-
-                  Sim.Engine.schedule_at c.engine up_at (fun () -> restart nd)
+                  Sim.Engine.schedule_at c.engine up_at (fun () ->
+                      restart nd;
+                      emit_instant c ~track:nd.id "restart")
                   :: c.fault_handles)
             (Sim.Fault.schedule f ~node:nd.id))
         c.nodes;
@@ -894,7 +1090,8 @@ let start c =
           if p.Sim.Fault.heal_at >= now then
             c.fault_handles <-
               Sim.Engine.schedule_at c.engine p.Sim.Fault.heal_at (fun () ->
-                  incr c.nodes.(0) K.partitions_healed)
+                  incr c.nodes.(0) K.partitions_healed;
+                  emit_instant c ~track:0 "partition.heal")
               :: c.fault_handles)
         (Sim.Fault.partitions f)
 
@@ -910,10 +1107,11 @@ let submit c ~client ~node req =
   if node < 0 || node >= Array.length c.nodes then
     invalid_arg "Server.submit: node out of range";
   let nd = c.nodes.(node) in
+  let span = span_of c in
   Sim.Net.transfer c.net ~src:client ~dst:node
     ~bytes:(Http.Request.wire_size req);
   Sim.Engine.suspend (fun resume ->
-      Sim.Mailbox.send nd.listen { req; client; resume })
+      Sim.Mailbox.send nd.listen { req; client; resume; span })
 
 let submit_wire c ~client ~node bytes =
   match Http.Request.parse bytes with

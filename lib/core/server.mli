@@ -105,6 +105,21 @@ val node_cpu : t -> Sim.Cpu.t
     exposed so the Table-4 pseudo-server can inject directory updates. *)
 val node_info_mailbox : t -> Cluster.Msg.info_envelope Sim.Mailbox.t
 
+(** [tracer cluster] is the causal tracer when [Config.trace] is set.
+    Request-thread, daemon and client spans land here; export it with
+    {!Metrics.Trace.to_chrome_json} or summarise it with
+    {!Metrics.Trace.breakdown}. [None] when tracing is off — the hot path
+    then contains no tracing work at all. *)
+val tracer : cluster -> Metrics.Trace.t option
+
+(** [wait_histograms cluster] are the cluster-wide contention histograms
+    (empty list when tracing is off): acquire waits and queue depths for
+    the directory rwlocks ([dir.rd_wait]/[dir.wr_wait]/[dir.queue]), the
+    listen mailboxes feeding the request-thread pools
+    ([listen.wait]/[listen.depth]), the processor-sharing CPUs
+    ([cpu.wait]/[cpu.queue]) and the disk arms ([disk.wait]). *)
+val wait_histograms : cluster -> (string * Metrics.Histogram.t) list
+
 (** [merged_counters cluster] sums all nodes' counters. *)
 val merged_counters : cluster -> Metrics.Counter.t
 

@@ -1,0 +1,78 @@
+(* Plain-text summaries of a traced run, shared by the CLI
+   ([--trace-breakdown]) and the bench harness. All statistics degrade to
+   "-" on empty data instead of crashing. *)
+
+let fmt_ms v = Metrics.Table.fmt_f ~decimals:3 (v *. 1000.)
+
+let breakdown_table tr ~root =
+  let b = Metrics.Trace.breakdown tr ~root in
+  let table =
+    Metrics.Table.create
+      ~title:
+        (Printf.sprintf "Latency breakdown (%d %s trees)"
+           b.Metrics.Trace.n_roots root)
+      ~columns:
+        [
+          ("phase", Metrics.Table.Left);
+          ("reqs", Metrics.Table.Right);
+          ("occur", Metrics.Table.Right);
+          ("total ms", Metrics.Table.Right);
+          ("mean ms", Metrics.Table.Right);
+          ("p50 ms", Metrics.Table.Right);
+          ("p99 ms", Metrics.Table.Right);
+          ("share", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      Metrics.Table.add_row table
+        [
+          p.Metrics.Trace.phase;
+          Metrics.Table.fmt_i p.Metrics.Trace.requests;
+          Metrics.Table.fmt_i p.Metrics.Trace.occurrences;
+          fmt_ms p.Metrics.Trace.total;
+          fmt_ms p.Metrics.Trace.mean;
+          fmt_ms p.Metrics.Trace.p50;
+          fmt_ms p.Metrics.Trace.p99;
+          Metrics.Table.fmt_pct ~decimals:1 p.Metrics.Trace.share;
+        ])
+    b.Metrics.Trace.phases;
+  table
+
+let histogram_table hists =
+  let module H = Metrics.Histogram in
+  let table =
+    Metrics.Table.create ~title:"Contention (acquire waits and queue depths)"
+      ~columns:
+        [
+          ("histogram", Metrics.Table.Left);
+          ("n", Metrics.Table.Right);
+          ("mean", Metrics.Table.Right);
+          ("p50", Metrics.Table.Right);
+          ("p99", Metrics.Table.Right);
+          ("max", Metrics.Table.Right);
+        ]
+  in
+  (* Waits are times (report in ms); depth/queue histograms are counts. *)
+  let fmt name v =
+    let is_depth =
+      let n = String.length name in
+      (n >= 6 && String.sub name (n - 6) 6 = ".queue")
+      || (n >= 6 && String.sub name (n - 6) 6 = ".depth")
+    in
+    if is_depth then Metrics.Table.fmt_f ~decimals:1 v else fmt_ms v
+  in
+  let fmt_opt name = function None -> "-" | Some v -> fmt name v in
+  List.iter
+    (fun (name, h) ->
+      Metrics.Table.add_row table
+        [
+          name;
+          Metrics.Table.fmt_i (H.count h);
+          (if H.count h = 0 then "-" else fmt name (H.mean h));
+          fmt_opt name (H.quantile_opt h 0.5);
+          fmt_opt name (H.quantile_opt h 0.99);
+          fmt_opt name (H.max_opt h);
+        ])
+    hists;
+  table

@@ -1,0 +1,16 @@
+(** Plain-text summaries of a traced run, shared by the [swala_sim]
+    CLI ([--trace-breakdown]) and the bench harness. *)
+
+(** [breakdown_table tr ~root] tabulates {!Metrics.Trace.breakdown}: one
+    row per span name, with per-request totals and means in milliseconds
+    and the share of end-to-end time. Sync phases' totals partition the
+    root duration, so the share column sums to 100% (async spans — work
+    off the requester's critical path — are excluded). Quantiles over
+    empty phases print ["-"]. *)
+val breakdown_table : Metrics.Trace.t -> root:string -> Metrics.Table.t
+
+(** [histogram_table hists] tabulates named contention histograms (see
+    {!Server.wait_histograms}): waits in milliseconds, [.queue]/[.depth]
+    histograms as plain counts; ["-"] for statistics of empty
+    histograms. *)
+val histogram_table : (string * Metrics.Histogram.t) list -> Metrics.Table.t

@@ -1,0 +1,93 @@
+type t = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1; last is the overflow bucket *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+(* 1-2-5 per decade from 1 µs to 100 s: wide enough for lock waits (often
+   exactly 0, landing in the first bucket) up to whole-run stalls. *)
+let default_bounds =
+  [|
+    1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+    1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.;
+  |]
+
+(* Powers of two for queue-depth observations (integers, 0 included in
+   the first bucket). *)
+let depth_bounds = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+
+let create ?(bounds = default_bounds) () =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Histogram.create: empty bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Histogram.create: bounds must be strictly increasing"
+  done;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (n + 1) 0;
+    n = 0;
+    sum = 0.;
+    vmin = Float.infinity;
+    vmax = Float.neg_infinity;
+  }
+
+let bucket_of t x =
+  let nb = Array.length t.bounds in
+  let rec go i = if i >= nb then nb else if x <= t.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let add t x =
+  let i = bucket_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x < t.vmin then t.vmin <- x;
+  if x > t.vmax then t.vmax <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let min_opt t = if t.n = 0 then None else Some t.vmin
+let max_opt t = if t.n = 0 then None else Some t.vmax
+
+let quantile_opt t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile_opt: q out of [0,1]";
+  if t.n = 0 then None
+  else begin
+    let target = q *. float_of_int t.n in
+    let nb = Array.length t.bounds in
+    let rec go i cum =
+      if i > nb then Some t.vmax
+      else
+        let c = t.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lower = if i = 0 then 0. else t.bounds.(i - 1) in
+          let upper = if i < nb then t.bounds.(i) else t.vmax in
+          let frac = Float.max 0. (Float.min 1. ((target -. cum) /. float_of_int c)) in
+          let v = lower +. (frac *. (upper -. lower)) in
+          Some (Float.max t.vmin (Float.min t.vmax v))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
+let buckets t =
+  let nb = Array.length t.bounds in
+  List.init (nb + 1) (fun i ->
+      ((if i < nb then t.bounds.(i) else Float.infinity), t.counts.(i)))
+
+let merge a b =
+  if a.bounds <> b.bounds then invalid_arg "Histogram.merge: bounds differ";
+  let m = create ~bounds:a.bounds () in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.n <- a.n + b.n;
+  m.sum <- a.sum +. b.sum;
+  m.vmin <- Float.min a.vmin b.vmin;
+  m.vmax <- Float.max a.vmax b.vmax;
+  m

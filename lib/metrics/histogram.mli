@@ -1,0 +1,45 @@
+(** Fixed-bucket histogram for high-volume observations (lock acquire
+    waits, run-queue depths) where storing every sample — as {!Sample}
+    does — would cost more than the simulation step being measured.
+
+    Buckets are defined by an increasing array of upper bounds; an
+    observation lands in the first bucket whose bound it does not exceed,
+    or in the implicit overflow bucket past the last bound. Exact count,
+    sum, min and max are kept alongside, so [mean]/[min_opt]/[max_opt]
+    are exact and only the quantiles are bucket-interpolated. *)
+
+type t
+
+(** Log-spaced (1-2-5 per decade) seconds from 1 µs to 100 s — the
+    default, sized for simulated wait times. *)
+val default_bounds : float array
+
+(** Powers of two from 0 to 256, for integer queue-depth observations. *)
+val depth_bounds : float array
+
+(** [create ?bounds ()] with [bounds] strictly increasing and non-empty
+    (default {!default_bounds}); the array is copied. *)
+val create : ?bounds:float array -> unit -> t
+
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+
+(** [mean t] is exact; [0.] when empty. *)
+val mean : t -> float
+
+val min_opt : t -> float option
+val max_opt : t -> float option
+
+(** [quantile_opt t q] for [0 <= q <= 1]: linear interpolation within the
+    bucket containing the rank, clamped to the observed [min, max];
+    [None] when empty. Raises [Invalid_argument] for [q] out of range. *)
+val quantile_opt : t -> float -> float option
+
+(** [buckets t] is [(upper_bound, count)] per bucket in order; the last
+    pair's bound is [infinity] (the overflow bucket). *)
+val buckets : t -> (float * int) list
+
+(** [merge a b] is a fresh histogram combining both; the bucket bounds
+    must be identical. *)
+val merge : t -> t -> t

@@ -1,0 +1,26 @@
+(** Minimal JSON emitter shared by the metrics dump ([--metrics-out]),
+    the bench harness's [BENCH_perf.json] and the Chrome trace export.
+    Emission only — the simulator never parses JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [float_opt v] is [Float x] for [Some x] and [Null] otherwise — the
+    JSON rendering of a statistic over an empty collection. *)
+val float_opt : float option -> t
+
+(** [escape_into buf s] appends [s] to [buf] as a quoted JSON string. *)
+val escape_into : Buffer.t -> string -> unit
+
+(** [to_string v] renders compactly (no whitespace). Non-finite floats
+    become [null]; finite floats round-trip. *)
+val to_string : t -> string
+
+(** [write oc v] is [to_string] plus a trailing newline to [oc]. *)
+val write : out_channel -> t -> unit

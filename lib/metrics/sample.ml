@@ -44,6 +44,12 @@ let quantile t q =
 
 let median t = quantile t 0.5
 
+let quantile_opt t q =
+  if q < 0. || q > 1. then invalid_arg "Sample.quantile_opt: q out of [0,1]";
+  if t.size = 0 then None else Some (quantile t q)
+
+let median_opt t = quantile_opt t 0.5
+
 let min t =
   if t.size = 0 then invalid_arg "Sample.min: empty";
   ensure_sorted t;
@@ -53,6 +59,9 @@ let max t =
   if t.size = 0 then invalid_arg "Sample.max: empty";
   ensure_sorted t;
   t.data.(t.size - 1)
+
+let min_opt t = if t.size = 0 then None else Some (min t)
+let max_opt t = if t.size = 0 then None else Some (max t)
 
 let values t =
   ensure_sorted t;

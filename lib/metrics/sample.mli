@@ -18,5 +18,15 @@ val median : t -> float
 val min : t -> float
 val max : t -> float
 
+(** Total variants returning [None] on an empty sample instead of
+    raising — for report paths that must render something ("-", JSON
+    null) when a run produced no observations. [quantile_opt] still
+    raises on [q] out of range. *)
+
+val quantile_opt : t -> float -> float option
+val median_opt : t -> float option
+val min_opt : t -> float option
+val max_opt : t -> float option
+
 (** [values t] is a sorted copy of the observations. *)
 val values : t -> float array

@@ -1,0 +1,288 @@
+type span = {
+  id : int;
+  parent : int;
+  root : int;
+  track : int;
+  name : string;
+  attrs : (string * string) list;
+  t0 : float;
+  mutable t1 : float;  (* < t0 while the span is open *)
+  mutable child_time : float;  (* summed durations of sync children *)
+  async : bool;
+}
+
+type event =
+  | Begin of span
+  | End of span
+  | Instant of { itrack : int; iname : string; iattrs : (string * string) list; it : float }
+
+type t = {
+  clock : unit -> float;
+  mutable next_id : int;
+  spans : (int, span) Hashtbl.t;
+  mutable events : event list;  (* newest first; clock order when reversed *)
+  mutable open_spans : int;
+  track_names : (int, string) Hashtbl.t;
+}
+
+let none = 0
+
+let create ~clock () =
+  {
+    clock;
+    next_id = 1;
+    spans = Hashtbl.create 1024;
+    events = [];
+    open_spans = 0;
+    track_names = Hashtbl.create 8;
+  }
+
+let set_track_name t track name = Hashtbl.replace t.track_names track name
+
+let begin_span t ?(parent = none) ?(attrs = []) ?(async = false) ~track ~name () =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let parent, root =
+    if parent = none then (none, id)
+    else
+      match Hashtbl.find_opt t.spans parent with
+      | Some p -> (parent, p.root)
+      | None -> (none, id)  (* dangling parent: start a fresh tree *)
+  in
+  let t0 = t.clock () in
+  let s = { id; parent; root; track; name; attrs; t0; t1 = t0 -. 1.; child_time = 0.; async } in
+  Hashtbl.replace t.spans id s;
+  t.events <- Begin s :: t.events;
+  t.open_spans <- t.open_spans + 1;
+  id
+
+let end_span t id =
+  match Hashtbl.find_opt t.spans id with
+  | None -> invalid_arg "Trace.end_span: unknown span"
+  | Some s ->
+      if s.t1 >= s.t0 then invalid_arg "Trace.end_span: span already ended";
+      s.t1 <- t.clock ();
+      t.open_spans <- t.open_spans - 1;
+      (* Asynchronous continuations (work on another node, caused by this
+         request but overlapping its critical path) do not consume their
+         parent's time, so they stay out of the self-time accounting. *)
+      if (not s.async) && s.parent <> none then begin
+        match Hashtbl.find_opt t.spans s.parent with
+        | Some p -> p.child_time <- p.child_time +. (s.t1 -. s.t0)
+        | None -> ()
+      end;
+      t.events <- End s :: t.events
+
+let span t ?parent ?attrs ?async ~track ~name f =
+  let id = begin_span t ?parent ?attrs ?async ~track ~name () in
+  match f () with
+  | v ->
+      end_span t id;
+      v
+  | exception e ->
+      end_span t id;
+      raise e
+
+let instant t ?(attrs = []) ~track ~name () =
+  t.events <-
+    Instant { itrack = track; iname = name; iattrs = attrs; it = t.clock () }
+    :: t.events
+
+let n_spans t = Hashtbl.length t.spans
+let open_spans t = t.open_spans
+let find t id = Hashtbl.find_opt t.spans id
+
+let spans t =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.spans [] in
+  List.sort (fun a b -> Int.compare a.id b.id) all
+
+let instants t =
+  List.rev
+    (List.filter_map
+       (function Instant { itrack; iname; _ } -> Some (itrack, iname) | _ -> None)
+       t.events)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (Perfetto / chrome://tracing).
+
+   Requests interleave freely on a node's worker threads, so duration
+   events (ph B/E), which require strict per-thread nesting, cannot
+   represent them. Async nestable events (ph b/e) nest per (pid, cat, id)
+   instead; keying id by the tree's root span puts each request's whole
+   tree on one timeline row per node it touches. Events were appended in
+   call order under a monotone clock, so the reversed list is already
+   time-sorted. *)
+
+let ts_us buf time =
+  Buffer.add_string buf (Printf.sprintf "%.3f" (time *. 1e6))
+
+let add_args buf (s : span) =
+  Buffer.add_string buf ",\"args\":{\"span\":";
+  Buffer.add_string buf (string_of_int s.id);
+  Buffer.add_string buf ",\"parent\":";
+  Buffer.add_string buf (string_of_int s.parent);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      Json.escape_into buf k;
+      Buffer.add_char buf ':';
+      Json.escape_into buf v)
+    s.attrs;
+  Buffer.add_char buf '}'
+
+let add_event buf first ev =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  (match ev with
+  | Begin s ->
+      Buffer.add_string buf "{\"cat\":\"request\",\"ph\":\"b\",\"id\":";
+      Json.escape_into buf (Printf.sprintf "0x%x" s.root);
+      Buffer.add_string buf ",\"name\":";
+      Json.escape_into buf s.name;
+      Buffer.add_string buf ",\"pid\":";
+      Buffer.add_string buf (string_of_int s.track);
+      Buffer.add_string buf ",\"tid\":";
+      Buffer.add_string buf (string_of_int s.track);
+      Buffer.add_string buf ",\"ts\":";
+      ts_us buf s.t0;
+      add_args buf s;
+      Buffer.add_char buf '}'
+  | End s ->
+      Buffer.add_string buf "{\"cat\":\"request\",\"ph\":\"e\",\"id\":";
+      Json.escape_into buf (Printf.sprintf "0x%x" s.root);
+      Buffer.add_string buf ",\"name\":";
+      Json.escape_into buf s.name;
+      Buffer.add_string buf ",\"pid\":";
+      Buffer.add_string buf (string_of_int s.track);
+      Buffer.add_string buf ",\"tid\":";
+      Buffer.add_string buf (string_of_int s.track);
+      Buffer.add_string buf ",\"ts\":";
+      ts_us buf (if s.t1 >= s.t0 then s.t1 else s.t0);
+      Buffer.add_char buf '}'
+  | Instant { itrack; iname; iattrs; it } ->
+      Buffer.add_string buf "{\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"name\":";
+      Json.escape_into buf iname;
+      Buffer.add_string buf ",\"pid\":";
+      Buffer.add_string buf (string_of_int itrack);
+      Buffer.add_string buf ",\"tid\":";
+      Buffer.add_string buf (string_of_int itrack);
+      Buffer.add_string buf ",\"ts\":";
+      ts_us buf it;
+      if iattrs <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Json.escape_into buf k;
+            Buffer.add_char buf ':';
+            Json.escape_into buf v)
+          iattrs;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+
+let to_chrome_json t =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  (* One named track (pid) per node, plus the client track. *)
+  let tracks =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.track_names [])
+  in
+  List.iter
+    (fun (track, name) ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+      Buffer.add_string buf (string_of_int track);
+      Buffer.add_string buf ",\"args\":{\"name\":";
+      Json.escape_into buf name;
+      Buffer.add_string buf "}}")
+    tracks;
+  List.iter (add_event buf first) (List.rev t.events);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Latency breakdown.
+
+   Each closed span's self time is its duration minus the summed
+   durations of its synchronous children, so over one request tree the
+   self times partition the root's duration exactly: summed phase totals
+   equal summed root durations, and mean contributions per request sum to
+   the mean response time. Async spans (work on other nodes) are excluded
+   from both sides of that identity. *)
+
+type phase = {
+  phase : string;
+  requests : int;  (* trees in which the phase occurs *)
+  occurrences : int;  (* spans with this name across all trees *)
+  total : float;  (* summed self time, seconds *)
+  mean : float;  (* total / number of roots: mean contribution per request *)
+  p50 : float;  (* quantiles of per-tree self time, over containing trees *)
+  p99 : float;
+  share : float;  (* total / summed root durations *)
+}
+
+type breakdown = { phases : phase list; n_roots : int; total_time : float }
+
+let breakdown t ~root =
+  let roots = Hashtbl.create 256 in
+  let total_time = ref 0. in
+  Hashtbl.iter
+    (fun id (s : span) ->
+      if s.parent = none && String.equal s.name root && s.t1 >= s.t0 then begin
+        Hashtbl.replace roots id ();
+        total_time := !total_time +. (s.t1 -. s.t0)
+      end)
+    t.spans;
+  let n_roots = Hashtbl.length roots in
+  (* (phase, tree) -> self-time sum, and phase -> occurrence count. *)
+  let per_tree : (string * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let occur : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (s : span) ->
+      if (not s.async) && s.t1 >= s.t0 && Hashtbl.mem roots s.root then begin
+        let self = Float.max 0. (s.t1 -. s.t0 -. s.child_time) in
+        let key = (s.name, s.root) in
+        Hashtbl.replace per_tree key
+          (Option.value (Hashtbl.find_opt per_tree key) ~default:0. +. self);
+        Hashtbl.replace occur s.name
+          (Option.value (Hashtbl.find_opt occur s.name) ~default:0 + 1)
+      end)
+    t.spans;
+  let by_phase : (string, Sample.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (name, _) self ->
+      let sample =
+        match Hashtbl.find_opt by_phase name with
+        | Some s -> s
+        | None ->
+            let s = Sample.create () in
+            Hashtbl.replace by_phase name s;
+            s
+      in
+      Sample.add sample self)
+    per_tree;
+  let phases =
+    Hashtbl.fold
+      (fun name sample acc ->
+        let total = Sample.total sample in
+        {
+          phase = name;
+          requests = Sample.count sample;
+          occurrences = Option.value (Hashtbl.find_opt occur name) ~default:0;
+          total;
+          mean = (if n_roots = 0 then 0. else total /. float_of_int n_roots);
+          p50 = Option.value (Sample.quantile_opt sample 0.5) ~default:0.;
+          p99 = Option.value (Sample.quantile_opt sample 0.99) ~default:0.;
+          share = (if !total_time > 0. then total /. !total_time else 0.);
+        }
+        :: acc)
+      by_phase []
+  in
+  let phases =
+    List.sort (fun a b -> Float.compare b.total a.total) phases
+  in
+  { phases; n_roots; total_time = !total_time }

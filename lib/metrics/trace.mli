@@ -1,0 +1,122 @@
+(** Causal request tracing over the simulated cluster's virtual clock.
+
+    A trace is a set of spans — named intervals with a parent link —
+    grouped into trees. Causality crosses process boundaries by carrying
+    the parent span id in messages (mailbox envelopes, fetch requests,
+    anti-entropy digests), so a single client request yields one tree
+    spanning router, node, directory lookup, remote fetch, CGI execution
+    and response.
+
+    Spans on the issuing request's critical path are {e synchronous}:
+    their durations are charged to the parent's child time, so self time
+    (duration minus child time) partitions each tree's root duration
+    exactly. Work caused by a request but running concurrently on another
+    process — serving a remote fetch, applying a broadcast, answering an
+    anti-entropy digest — is opened with [~async:true]: it keeps its
+    causal link for the timeline view but stays out of the latency
+    accounting, which keeps the breakdown's per-phase totals summing to
+    the end-to-end response time.
+
+    All timestamps come from the injected [clock], which must be safe to
+    call from any context (in the simulator: [Engine.current_time], not
+    [Engine.now]). *)
+
+type span = private {
+  id : int;
+  parent : int;  (** 0 when the span is a tree root *)
+  root : int;  (** id of the tree's root span (own id for roots) *)
+  track : int;  (** timeline row: node id, or the client track *)
+  name : string;
+  attrs : (string * string) list;
+  t0 : float;
+  mutable t1 : float;  (** end time; [t1 < t0] while the span is open *)
+  mutable child_time : float;  (** summed durations of closed sync children *)
+  async : bool;
+}
+
+type t
+
+(** Span id meaning "no span" — the zero of parent links. *)
+val none : int
+
+val create : clock:(unit -> float) -> unit -> t
+
+(** [set_track_name t track name] labels a timeline row in the Chrome
+    export (one per node plus one for clients). *)
+val set_track_name : t -> int -> string -> unit
+
+(** [begin_span t ?parent ?attrs ?async ~track ~name ()] opens a span and
+    returns its id (never {!none}). A missing, {!none} or dangling
+    [parent] starts a new tree. *)
+val begin_span :
+  t ->
+  ?parent:int ->
+  ?attrs:(string * string) list ->
+  ?async:bool ->
+  track:int ->
+  name:string ->
+  unit ->
+  int
+
+(** Closes the span; charges its duration to the parent's child time
+    unless async. Raises [Invalid_argument] if unknown or already
+    closed. *)
+val end_span : t -> int -> unit
+
+(** [span t ... f] brackets [f ()] with begin/end, closing the span on
+    exception too. *)
+val span :
+  t ->
+  ?parent:int ->
+  ?attrs:(string * string) list ->
+  ?async:bool ->
+  track:int ->
+  name:string ->
+  (unit -> 'a) ->
+  'a
+
+(** A point event (fault injection, crash, heal, router retry) on a
+    track, rendered as a process-scoped instant in the Chrome export. *)
+val instant :
+  t -> ?attrs:(string * string) list -> track:int -> name:string -> unit -> unit
+
+val n_spans : t -> int
+
+(** Number of spans begun but not yet ended. *)
+val open_spans : t -> int
+
+val find : t -> int -> span option
+
+(** All spans in id (creation) order. *)
+val spans : t -> span list
+
+(** All instants in time order as [(track, name)]. *)
+val instants : t -> (int * string) list
+
+(** Chrome trace-event JSON (loads in Perfetto and chrome://tracing).
+    Spans become async nestable events (ph ["b"]/["e"], id keyed by the
+    tree root) — duration events would require strict per-thread nesting,
+    which concurrent request threads violate. Instants become ph ["i"],
+    and track names process-name metadata. Timestamps are microseconds of
+    virtual time. *)
+val to_chrome_json : t -> string
+
+type phase = {
+  phase : string;  (** span name *)
+  requests : int;  (** trees in which the phase occurs *)
+  occurrences : int;  (** spans with this name across those trees *)
+  total : float;  (** summed self time, seconds *)
+  mean : float;  (** [total /. n_roots] — mean contribution per request *)
+  p50 : float;  (** quantiles of per-tree self time, over containing trees *)
+  p99 : float;
+  share : float;  (** [total /. total_time] *)
+}
+
+type breakdown = { phases : phase list; n_roots : int; total_time : float }
+
+(** [breakdown t ~root] aggregates self times by span name over all
+    closed trees whose root span is named [root]. Phases are sorted by
+    descending total. The phase totals sum to [total_time] (the summed
+    root durations) up to float rounding, and the phase means sum to the
+    mean response time — async spans are excluded from both sides. *)
+val breakdown : t -> root:string -> breakdown

@@ -9,11 +9,12 @@ type t = {
   mutable next_completion : Engine.handle option;
   mutable n_completed : int;
   mutable work_delivered : float;
+  observe : (wait:float -> depth:int -> unit) option;
 }
 
 let eps = 1e-12
 
-let create ?(speed = 1.0) engine ~cores =
+let create ?(speed = 1.0) ?observe engine ~cores =
   if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
   if speed <= 0. then invalid_arg "Cpu.create: speed must be positive";
   {
@@ -25,6 +26,7 @@ let create ?(speed = 1.0) engine ~cores =
     next_completion = None;
     n_completed = 0;
     work_delivered = 0.;
+    observe;
   }
 
 (* Per-job service rate with the current multiprogramming level. *)
@@ -76,12 +78,31 @@ and complete t =
 
 let consume t demand =
   if demand < 0. then invalid_arg "Cpu.consume: negative demand";
-  if demand <= eps then Engine.yield ()
-  else
-    Engine.suspend (fun resume ->
-        advance t;
-        t.jobs <- { remaining = demand; resume } :: t.jobs;
-        reschedule t)
+  if demand <= eps then begin
+    (match t.observe with
+    | None -> ()
+    | Some f -> f ~wait:0. ~depth:(List.length t.jobs));
+    Engine.yield ()
+  end
+  else begin
+    let depth = List.length t.jobs in
+    match t.observe with
+    | None ->
+        Engine.suspend (fun resume ->
+            advance t;
+            t.jobs <- { remaining = demand; resume } :: t.jobs;
+            reschedule t)
+    | Some f ->
+        (* Contention delay: elapsed service time beyond the solo (one
+           job, dedicated core) time for this demand. *)
+        let t0 = Engine.now () in
+        Engine.suspend (fun resume ->
+            advance t;
+            t.jobs <- { remaining = demand; resume } :: t.jobs;
+            reschedule t);
+        let solo = demand /. t.speed in
+        f ~wait:(Float.max 0. (Engine.now () -. t0 -. solo)) ~depth
+  end
 
 let active_jobs t = List.length t.jobs
 let completed t = t.n_completed

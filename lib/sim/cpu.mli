@@ -14,8 +14,17 @@
 type t
 
 (** [create engine ~cores] with optional [speed] (default [1.0], relative to
-    the reference node). *)
-val create : ?speed:float -> Engine.t -> cores:int -> t
+    the reference node). [observe], if given, is called once per completed
+    {!consume} with the contention delay — elapsed service time beyond the
+    solo (dedicated-core) time for the demand — and the run-queue length
+    when the job arrived. It must only record — it runs inside the consuming
+    process and must not block or schedule. *)
+val create :
+  ?speed:float ->
+  ?observe:(wait:float -> depth:int -> unit) ->
+  Engine.t ->
+  cores:int ->
+  t
 
 (** [consume cpu demand] blocks the calling process until [demand >= 0]
     seconds of dedicated-CPU work have been served to it. *)

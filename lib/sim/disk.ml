@@ -7,14 +7,15 @@ type t = {
   mutable n_writes : int;
 }
 
-let create ?(seek = 0.008) ?(bandwidth = 8e6) ?(mem_bandwidth = 80e6) _engine =
+let create ?(seek = 0.008) ?(bandwidth = 8e6) ?(mem_bandwidth = 80e6) ?observe
+    _engine =
   if bandwidth <= 0. || mem_bandwidth <= 0. then
     invalid_arg "Disk.create: bandwidth must be positive";
   {
     seek;
     bandwidth;
     mem_bandwidth;
-    arm = Mutex.create ();
+    arm = Mutex.create ?observe ();
     n_reads = 0;
     n_writes = 0;
   }

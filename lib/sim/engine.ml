@@ -71,6 +71,8 @@ type _ Effect.t +=
   | Now_eff : float Effect.t
   | Engine_eff : t Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
+  | Get_local : int Effect.t
+  | Set_local : int -> unit Effect.t
 
 let now () = try Effect.perform Now_eff with Effect.Unhandled _ -> raise Not_in_process
 
@@ -90,12 +92,21 @@ let suspend register =
   try Effect.perform (Suspend register)
   with Effect.Unhandled _ -> raise Not_in_process
 
+(* Outside any process there is no fiber-local slot; reading yields the
+   zero value so observers (tracing) can treat "no context" uniformly,
+   while writing is a programming error. *)
+let get_local () = try Effect.perform Get_local with Effect.Unhandled _ -> 0
+
+let set_local v =
+  try Effect.perform (Set_local v) with Effect.Unhandled _ -> raise Not_in_process
+
 (* ------------------------------------------------------------------ *)
 (* Process runner *)
 
 open Effect.Deep
 
-let rec run_process t (f : unit -> unit) =
+let rec run_process t ?(local = 0) (f : unit -> unit) =
+  let local = ref local in
   let handler =
     {
       retc = (fun () -> ());
@@ -110,11 +121,23 @@ let rec run_process t (f : unit -> unit) =
                     (schedule_after t dt (fun () -> continue k ()) : handle))
           | Now_eff -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
           | Engine_eff -> Some (fun (k : (a, unit) continuation) -> continue k t)
+          | Get_local ->
+              Some (fun (k : (a, unit) continuation) -> continue k !local)
+          | Set_local v ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  local := v;
+                  continue k ())
           | Fork g ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  (* The child inherits the local slot's value at fork time
+                     (its own copy — later writes don't propagate). *)
+                  let inherited = !local in
                   ignore
-                    (schedule_at t t.clock (fun () -> run_process t g) : handle);
+                    (schedule_at t t.clock (fun () ->
+                         run_process t ~local:inherited g)
+                      : handle);
                   continue k ())
           | Suspend register ->
               Some

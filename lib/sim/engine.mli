@@ -80,6 +80,21 @@ val yield : unit -> unit
 (** [spawn_child f] starts [f] as a sibling process at the current time. *)
 val spawn_child : (unit -> unit) -> unit
 
+(** {1 Fiber-local storage}
+
+    Each process carries one [int] slot, used by the tracer to propagate
+    the current span id across blocking operations and into children. A
+    process starts with [0]; a child forked with {!spawn_child} inherits
+    the parent's value at fork time (as its own copy). *)
+
+(** [get_local ()] is the calling process's slot value, or [0] when called
+    outside any process (it never raises — observers run in both
+    contexts). *)
+val get_local : unit -> int
+
+(** [set_local v] overwrites the calling process's slot. *)
+val set_local : int -> unit
+
 type 'a resumer = 'a -> unit
 (** A one-shot wake-up function for a suspended process. Calling it schedules
     the process to resume (with the given value) at the engine's current

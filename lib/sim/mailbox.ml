@@ -1,8 +1,16 @@
 type 'a waiter = { mutable active : bool; resume : 'a option Engine.resumer }
 
-type 'a t = { items : 'a Queue.t; waiting : 'a waiter Queue.t }
+type 'a t = {
+  items : 'a Queue.t;
+  waiting : 'a waiter Queue.t;
+  on_wait : (float -> unit) option;
+  on_depth : (int -> unit) option;
+}
 
-let create () = { items = Queue.create (); waiting = Queue.create () }
+let create ?on_wait ?on_depth () =
+  { items = Queue.create (); waiting = Queue.create (); on_wait; on_depth }
+
+let waited t dt = match t.on_wait with None -> () | Some f -> f dt
 
 (* Pop the first waiter that has not timed out. *)
 let rec take_waiter t =
@@ -10,41 +18,61 @@ let rec take_waiter t =
   | None -> None
   | Some w -> if w.active then Some w else take_waiter t
 
+(* [send] runs in engine-event context too (timer actions, resumers), so
+   it must never read the process clock; depth observation only inspects
+   the queue. *)
 let send t v =
-  match take_waiter t with
+  (match take_waiter t with
   | Some w ->
       w.active <- false;
       w.resume (Some v)
-  | None -> Queue.push v t.items
+  | None -> Queue.push v t.items);
+  match t.on_depth with None -> () | Some f -> f (Queue.length t.items)
 
 let recv t =
   match Queue.take_opt t.items with
-  | Some v -> v
+  | Some v ->
+      waited t 0.;
+      v
   | None -> (
+      let t0 = match t.on_wait with None -> 0. | Some _ -> Engine.now () in
       let got =
         Engine.suspend (fun resume ->
             Queue.push { active = true; resume } t.waiting)
       in
       match got with
-      | Some v -> v
+      | Some v ->
+          (match t.on_wait with
+          | None -> ()
+          | Some f -> f (Engine.now () -. t0));
+          v
       | None -> assert false (* plain waiters are only resumed by send *))
 
 let recv_timeout t ~timeout =
   if timeout < 0. then invalid_arg "Mailbox.recv_timeout: negative timeout";
   match Queue.take_opt t.items with
-  | Some v -> Some v
+  | Some v ->
+      waited t 0.;
+      Some v
   | None ->
       let engine = Engine.self_engine () in
-      Engine.suspend (fun resume ->
-          let w = { active = true; resume } in
-          Queue.push w t.waiting;
-          ignore
-            (Engine.schedule_after engine timeout (fun () ->
-                 if w.active then begin
-                   w.active <- false;
-                   w.resume None
-                 end)
-              : Engine.handle))
+      let t0 = match t.on_wait with None -> 0. | Some _ -> Engine.now () in
+      let got =
+        Engine.suspend (fun resume ->
+            let w = { active = true; resume } in
+            Queue.push w t.waiting;
+            ignore
+              (Engine.schedule_after engine timeout (fun () ->
+                   if w.active then begin
+                     w.active <- false;
+                     w.resume None
+                   end)
+                : Engine.handle))
+      in
+      (match t.on_wait with
+      | None -> ()
+      | Some f -> f (Engine.now () -. t0));
+      got
 
 let try_recv t = Queue.take_opt t.items
 let length t = Queue.length t.items

@@ -7,8 +7,17 @@
 
 type 'a t
 
-(** [create ()] is a fresh, empty mailbox. *)
-val create : unit -> 'a t
+(** [create ?on_wait ?on_depth ()] is a fresh, empty mailbox. [on_wait],
+    if given, is called once per completed receive with the simulated
+    time the receiver spent blocked ([0.] when a message was already
+    queued) — including timed-out receives, where it records the full
+    timeout. [on_depth] is called after every {!send} with the resulting
+    backlog of unconsumed messages ([0] when the message was handed
+    straight to a waiting receiver). Both must only record: they run on
+    the hot path ([on_depth] possibly in engine-event context) and must
+    not block or schedule. *)
+val create :
+  ?on_wait:(float -> unit) -> ?on_depth:(int -> unit) -> unit -> 'a t
 
 (** [send mb v] enqueues [v], waking the longest-waiting receiver if any. *)
 val send : 'a t -> 'a -> unit

@@ -1,10 +1,30 @@
-type t = { mutable held : bool; queue : unit Engine.resumer Queue.t }
+type t = {
+  mutable held : bool;
+  queue : unit Engine.resumer Queue.t;
+  observe : (wait:float -> depth:int -> unit) option;
+}
 
-let create () = { held = false; queue = Queue.create () }
+let create ?observe () = { held = false; queue = Queue.create (); observe }
+
+let observed t ~wait ~depth =
+  match t.observe with None -> () | Some f -> f ~wait ~depth
 
 let lock t =
-  if not t.held then t.held <- true
-  else Engine.suspend (fun resume -> Queue.push resume t.queue)
+  if not t.held then begin
+    t.held <- true;
+    observed t ~wait:0. ~depth:0
+  end
+  else begin
+    let depth = Queue.length t.queue in
+    match t.observe with
+    | None -> Engine.suspend (fun resume -> Queue.push resume t.queue)
+    | Some _ ->
+        (* Contended path: the caller is a process, so reading the clock
+           before and after the suspension is safe. *)
+        let t0 = Engine.now () in
+        Engine.suspend (fun resume -> Queue.push resume t.queue);
+        observed t ~wait:(Engine.now () -. t0) ~depth
+  end
 
 let try_lock t =
   if t.held then false

@@ -2,8 +2,12 @@
 
 type t
 
-(** [create ()] is a fresh, unlocked mutex. *)
-val create : unit -> t
+(** [create ?observe ()] is a fresh, unlocked mutex. [observe], if given,
+    is called once per {!lock} acquisition with the simulated time spent
+    waiting ([0.] on the uncontended fast path) and the number of waiters
+    already queued when the attempt began. It must only record — it runs
+    inside the acquiring process and must not block or schedule. *)
+val create : ?observe:(wait:float -> depth:int -> unit) -> unit -> t
 
 (** [lock m] blocks the calling process until the lock is held. *)
 val lock : t -> unit

@@ -6,34 +6,48 @@ type t = {
   queue : waiter Queue.t;
   mutable rd_count : int;
   mutable wr_count : int;
+  observe : (kind:[ `Read | `Write ] -> wait:float -> depth:int -> unit) option;
 }
 
-let create () =
+let create ?observe () =
   {
     active_readers = 0;
     writer = false;
     queue = Queue.create ();
     rd_count = 0;
     wr_count = 0;
+    observe;
   }
+
+let observed t ~kind ~wait ~depth =
+  match t.observe with None -> () | Some f -> f ~kind ~wait ~depth
+
+(* Contended acquisitions read the clock around the suspension; lock calls
+   always come from a process (suspend requires one), so this is safe. *)
+let blocking_lock t kind =
+  let depth = Queue.length t.queue in
+  match t.observe with
+  | None -> Engine.suspend (fun resume -> Queue.push { kind; resume } t.queue)
+  | Some _ ->
+      let t0 = Engine.now () in
+      Engine.suspend (fun resume -> Queue.push { kind; resume } t.queue);
+      observed t ~kind ~wait:(Engine.now () -. t0) ~depth
 
 let rd_lock t =
   if (not t.writer) && Queue.is_empty t.queue then begin
     t.active_readers <- t.active_readers + 1;
-    t.rd_count <- t.rd_count + 1
+    t.rd_count <- t.rd_count + 1;
+    observed t ~kind:`Read ~wait:0. ~depth:0
   end
-  else
-    Engine.suspend (fun resume ->
-        Queue.push { kind = `Read; resume } t.queue)
+  else blocking_lock t `Read
 
 let wr_lock t =
   if (not t.writer) && t.active_readers = 0 && Queue.is_empty t.queue then begin
     t.writer <- true;
-    t.wr_count <- t.wr_count + 1
+    t.wr_count <- t.wr_count + 1;
+    observed t ~kind:`Write ~wait:0. ~depth:0
   end
-  else
-    Engine.suspend (fun resume ->
-        Queue.push { kind = `Write; resume } t.queue)
+  else blocking_lock t `Write
 
 (* Admit from the head of the queue: either one writer, or every consecutive
    reader up to the next writer. *)

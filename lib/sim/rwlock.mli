@@ -8,8 +8,16 @@
 
 type t
 
-(** [create ()] is a fresh, unheld lock. *)
-val create : unit -> t
+(** [create ?observe ()] is a fresh, unheld lock. [observe], if given, is
+    called once per acquisition with the access kind, the simulated time
+    spent waiting ([0.] on the uncontended fast path) and the number of
+    waiters already queued when the attempt began. It must only record —
+    it runs inside the acquiring process and must not block or
+    schedule. *)
+val create :
+  ?observe:(kind:[ `Read | `Write ] -> wait:float -> depth:int -> unit) ->
+  unit ->
+  t
 
 (** [rd_lock l] acquires shared access, blocking while a writer holds or
     earlier waiters queue. *)

@@ -341,6 +341,7 @@ let test_batch_apply_last_write_wins () =
               Cluster.Msg.Batch
                 [ Cluster.Msg.Insert stale; Cluster.Msg.Insert fresh ];
             ack = None;
+            span = 0;
           };
         Sim.Engine.delay 1.0;
         let dir1 = Swala.Server.node_directory nd1 in

@@ -13,7 +13,7 @@ let test_msg_sizes_positive () =
   check_bool "delete" true
     (Cluster.Msg.info_bytes (Cluster.Msg.Delete { node = 0; key = "k" }) > 0);
   let req =
-    { Cluster.Msg.key = "k"; requester = 1; reply = Sim.Mailbox.create () }
+    { Cluster.Msg.key = "k"; requester = 1; reply = Sim.Mailbox.create (); span = 0 }
   in
   check_bool "fetch req" true (Cluster.Msg.fetch_request_bytes req > 0)
 
@@ -80,7 +80,7 @@ let test_fetch_routes_to_owner () =
   let endpoints =
     with_net 3 (fun net endpoints ->
         Cluster.Broadcast.fetch net endpoints ~src:0 ~owner:2
-          { Cluster.Msg.key = "k"; requester = 0; reply })
+          { Cluster.Msg.key = "k"; requester = 0; reply; span = 0 })
   in
   check_int "owner got it" 1
     (Sim.Mailbox.length endpoints.(2).Cluster.Endpoint.data_mb);
@@ -95,7 +95,7 @@ let test_fetch_unknown_owner () =
   Sim.Engine.spawn eng (fun () ->
       try
         Cluster.Broadcast.fetch net endpoints ~src:0 ~owner:7
-          { Cluster.Msg.key = "k"; requester = 0; reply = Sim.Mailbox.create () }
+          { Cluster.Msg.key = "k"; requester = 0; reply = Sim.Mailbox.create (); span = 0 }
       with Invalid_argument _ -> raised := true);
   Sim.Engine.run eng;
   check_bool "unknown owner rejected" true !raised

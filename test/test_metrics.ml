@@ -256,6 +256,133 @@ let test_table_to_csv () =
     "name,v\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n"
     (Metrics.Table.to_csv t)
 
+let test_table_csv_newline () =
+  let t =
+    Metrics.Table.create ~title:"T"
+      ~columns:[ ("name", Metrics.Table.Left); ("v", Metrics.Table.Right) ]
+  in
+  Metrics.Table.add_row t [ "line1\nline2"; "ok" ];
+  Alcotest.(check string) "embedded newline quoted"
+    "name,v\n\"line1\nline2\",ok\n"
+    (Metrics.Table.to_csv t)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries gaps: a long stretch of empty windows must yield NaN means
+   and zero-count summaries, not crash or invent zeros. *)
+
+let test_timeseries_gap_windows () =
+  let ts = Metrics.Timeseries.create ~window:1. in
+  Metrics.Timeseries.add ts ~time:0.5 3.;
+  Metrics.Timeseries.add ts ~time:6.5 7.;
+  check_int "seven windows" 7 (Metrics.Timeseries.n_buckets ts);
+  let means = Metrics.Timeseries.bucket_means ts in
+  check_float "first mean" 3. means.(0);
+  for i = 1 to 5 do
+    check_bool
+      (Printf.sprintf "window %d mean is nan" i)
+      true
+      (Float.is_nan means.(i))
+  done;
+  check_float "last mean" 7. means.(6);
+  let buckets = Metrics.Timeseries.buckets ts in
+  for i = 1 to 5 do
+    check_int
+      (Printf.sprintf "window %d empty" i)
+      0
+      (Metrics.Summary.count buckets.(i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sample _opt accessors: total-order statistics over empty samples are
+   None, never an exception or a made-up zero. *)
+
+let test_sample_opt_empty () =
+  let s = Metrics.Sample.create () in
+  check_bool "quantile_opt" true (Metrics.Sample.quantile_opt s 0.5 = None);
+  check_bool "median_opt" true (Metrics.Sample.median_opt s = None);
+  check_bool "min_opt" true (Metrics.Sample.min_opt s = None);
+  check_bool "max_opt" true (Metrics.Sample.max_opt s = None)
+
+let test_sample_opt_filled () =
+  let s = Metrics.Sample.create () in
+  List.iter (Metrics.Sample.add s) [ 3.; 1.; 2. ];
+  check_bool "median_opt" true (Metrics.Sample.median_opt s = Some 2.);
+  check_bool "min_opt" true (Metrics.Sample.min_opt s = Some 1.);
+  check_bool "max_opt" true (Metrics.Sample.max_opt s = Some 3.);
+  check_bool "q0" true (Metrics.Sample.quantile_opt s 0. = Some 1.);
+  check_bool "q1" true (Metrics.Sample.quantile_opt s 1. = Some 3.)
+
+let test_sample_opt_range_checked () =
+  let s = Metrics.Sample.create () in
+  Metrics.Sample.add s 1.;
+  Alcotest.check_raises "q > 1"
+    (Invalid_argument "Sample.quantile_opt: q out of [0,1]") (fun () ->
+      ignore (Metrics.Sample.quantile_opt s 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-bucket histograms *)
+
+let test_histogram_basic () =
+  let h = Metrics.Histogram.create ~bounds:[| 1.; 2.; 5. |] () in
+  check_int "empty count" 0 (Metrics.Histogram.count h);
+  check_float "empty mean" 0. (Metrics.Histogram.mean h);
+  check_bool "empty quantile" true (Metrics.Histogram.quantile_opt h 0.5 = None);
+  check_bool "empty min" true (Metrics.Histogram.min_opt h = None);
+  List.iter (Metrics.Histogram.add h) [ 0.5; 1.5; 1.7; 3.0; 10.0 ];
+  check_int "count" 5 (Metrics.Histogram.count h);
+  check_float "total" 16.7 (Metrics.Histogram.total h);
+  check_float "mean" (16.7 /. 5.) (Metrics.Histogram.mean h);
+  check_bool "min exact" true (Metrics.Histogram.min_opt h = Some 0.5);
+  check_bool "max exact" true (Metrics.Histogram.max_opt h = Some 10.0);
+  match Metrics.Histogram.buckets h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, c4) ] ->
+      check_float "bound 1" 1. b1;
+      check_int "bucket <=1" 1 c1;
+      check_float "bound 2" 2. b2;
+      check_int "bucket <=2" 2 c2;
+      check_float "bound 5" 5. b3;
+      check_int "bucket <=5" 1 c3;
+      check_bool "overflow bound" true (binf = infinity);
+      check_int "overflow count" 1 c4
+  | other ->
+      Alcotest.failf "expected 4 buckets, got %d" (List.length other)
+
+let test_histogram_quantiles_clamped () =
+  let h = Metrics.Histogram.create ~bounds:[| 1.; 2.; 5. |] () in
+  (* All mass in one bucket: any quantile must stay inside [vmin, vmax]. *)
+  List.iter (Metrics.Histogram.add h) [ 1.4; 1.5; 1.6 ];
+  (match Metrics.Histogram.quantile_opt h 0. with
+  | Some q -> check_bool "q0 >= vmin" true (q >= 1.4)
+  | None -> Alcotest.fail "expected Some");
+  (match Metrics.Histogram.quantile_opt h 1. with
+  | Some q -> check_bool "q1 <= vmax" true (q <= 1.6)
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile_opt: q out of [0,1]") (fun () ->
+      ignore (Metrics.Histogram.quantile_opt h 2.))
+
+let test_histogram_merge () =
+  let bounds = [| 1.; 10. |] in
+  let a = Metrics.Histogram.create ~bounds () in
+  let b = Metrics.Histogram.create ~bounds () in
+  Metrics.Histogram.add a 0.5;
+  Metrics.Histogram.add b 5.;
+  Metrics.Histogram.add b 50.;
+  let m = Metrics.Histogram.merge a b in
+  check_int "merged count" 3 (Metrics.Histogram.count m);
+  check_float "merged total" 55.5 (Metrics.Histogram.total m);
+  check_bool "merged min" true (Metrics.Histogram.min_opt m = Some 0.5);
+  check_bool "merged max" true (Metrics.Histogram.max_opt m = Some 50.);
+  let c = Metrics.Histogram.create ~bounds:[| 2.; 20. |] () in
+  Alcotest.check_raises "mismatched bounds"
+    (Invalid_argument "Histogram.merge: bounds differ") (fun () ->
+      ignore (Metrics.Histogram.merge a c))
+
+let test_histogram_validation () =
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Histogram.create: bounds must be strictly increasing")
+    (fun () -> ignore (Metrics.Histogram.create ~bounds:[| 1.; 1. |] ()))
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
@@ -281,6 +408,19 @@ let () =
           Alcotest.test_case "add after query resorts" `Quick test_sample_add_after_query;
           Alcotest.test_case "error cases" `Quick test_sample_errors;
           Alcotest.test_case "values sorted" `Quick test_sample_values_sorted;
+          Alcotest.test_case "_opt on empty" `Quick test_sample_opt_empty;
+          Alcotest.test_case "_opt on data" `Quick test_sample_opt_filled;
+          Alcotest.test_case "_opt range checked" `Quick
+            test_sample_opt_range_checked;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets and stats" `Quick test_histogram_basic;
+          Alcotest.test_case "quantiles clamped" `Quick
+            test_histogram_quantiles_clamped;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "bounds validated" `Quick
+            test_histogram_validation;
         ] );
       qsuite "sample-props" [ prop_sample_quantile_monotone ];
       ( "counter",
@@ -296,11 +436,14 @@ let () =
           Alcotest.test_case "formatters" `Quick test_table_formatters;
           Alcotest.test_case "row order" `Quick test_table_rows_in_order;
           Alcotest.test_case "csv export" `Quick test_table_to_csv;
+          Alcotest.test_case "csv newline quoting" `Quick
+            test_table_csv_newline;
         ] );
       ( "timeseries",
         [
           Alcotest.test_case "bucketing" `Quick test_timeseries_bucketing;
           Alcotest.test_case "validation" `Quick test_timeseries_validation;
           Alcotest.test_case "empty" `Quick test_timeseries_empty;
+          Alcotest.test_case "gap windows" `Quick test_timeseries_gap_windows;
         ] );
     ]

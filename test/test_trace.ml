@@ -1,0 +1,382 @@
+(* Tests for causal request tracing: the engine's fiber-local span slot,
+   the Trace span/instant API, the trace-off byte-identity guarantee
+   (tracing must never perturb the simulation), span-tree causality over
+   a real cluster run, the Chrome trace-event export, the latency
+   breakdown accounting identity, and the contention histograms. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine fiber-local storage *)
+
+let test_engine_local_inherit () =
+  let e = Sim.Engine.create () in
+  let child_saw = ref (-1) in
+  let child_after_parent_change = ref (-1) in
+  let parent_saw = ref (-1) in
+  Sim.Engine.spawn e (fun () ->
+      check_int "starts at 0" 0 (Sim.Engine.get_local ());
+      Sim.Engine.set_local 7;
+      Sim.Engine.spawn_child (fun () ->
+          child_saw := Sim.Engine.get_local ();
+          (* The child's slot is a copy: writes don't leak either way. *)
+          Sim.Engine.set_local 99;
+          Sim.Engine.delay 1.0;
+          child_after_parent_change := Sim.Engine.get_local ());
+      Sim.Engine.set_local 8;
+      Sim.Engine.delay 2.0;
+      parent_saw := Sim.Engine.get_local ());
+  Sim.Engine.run e;
+  check_int "child inherited parent's value" 7 !child_saw;
+  check_int "child kept its own write" 99 !child_after_parent_change;
+  check_int "parent unaffected by child" 8 !parent_saw
+
+let test_engine_local_outside_process () =
+  check_int "get_local outside a process" 0 (Sim.Engine.get_local ());
+  match Sim.Engine.set_local 3 with
+  | exception Sim.Engine.Not_in_process -> ()
+  | () -> Alcotest.fail "set_local outside a process should raise"
+
+(* ------------------------------------------------------------------ *)
+(* Trace API on a manual clock *)
+
+let manual_trace () =
+  let now = ref 0. in
+  (Metrics.Trace.create ~clock:(fun () -> !now) (), now)
+
+let test_trace_span_tree () =
+  let tr, now = manual_trace () in
+  let root = Metrics.Trace.begin_span tr ~track:9 ~name:"request" () in
+  now := 1.;
+  let child = Metrics.Trace.begin_span tr ~parent:root ~track:0 ~name:"handle" () in
+  now := 4.;
+  Metrics.Trace.end_span tr child;
+  now := 5.;
+  Metrics.Trace.end_span tr root;
+  check_int "two spans" 2 (Metrics.Trace.n_spans tr);
+  check_int "none open" 0 (Metrics.Trace.open_spans tr);
+  (match Metrics.Trace.find tr child with
+  | None -> Alcotest.fail "child not found"
+  | Some s ->
+      check_int "child parent" root s.Metrics.Trace.parent;
+      check_int "child root" root s.Metrics.Trace.root;
+      check_float "child t0" 1. s.Metrics.Trace.t0;
+      check_float "child t1" 4. s.Metrics.Trace.t1);
+  match Metrics.Trace.find tr root with
+  | None -> Alcotest.fail "root not found"
+  | Some s ->
+      check_int "root parent is none" Metrics.Trace.none s.Metrics.Trace.parent;
+      check_float "root charged child time" 3. s.Metrics.Trace.child_time
+
+let test_trace_async_not_charged () =
+  let tr, now = manual_trace () in
+  let root = Metrics.Trace.begin_span tr ~track:9 ~name:"request" () in
+  let a =
+    Metrics.Trace.begin_span tr ~parent:root ~async:true ~track:1
+      ~name:"fetch.serve" ()
+  in
+  now := 2.;
+  Metrics.Trace.end_span tr a;
+  Metrics.Trace.end_span tr root;
+  match Metrics.Trace.find tr root with
+  | None -> Alcotest.fail "root not found"
+  | Some s -> check_float "async child not charged" 0. s.Metrics.Trace.child_time
+
+let test_trace_dangling_parent_roots () =
+  let tr, _ = manual_trace () in
+  let s = Metrics.Trace.begin_span tr ~parent:12345 ~track:0 ~name:"x" () in
+  Metrics.Trace.end_span tr s;
+  match Metrics.Trace.find tr s with
+  | None -> Alcotest.fail "span not found"
+  | Some sp ->
+      check_int "dangling parent becomes a root" Metrics.Trace.none
+        sp.Metrics.Trace.parent;
+      check_int "own root" s sp.Metrics.Trace.root
+
+let test_trace_end_errors () =
+  let tr, _ = manual_trace () in
+  let s = Metrics.Trace.begin_span tr ~track:0 ~name:"x" () in
+  Metrics.Trace.end_span tr s;
+  (match Metrics.Trace.end_span tr s with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double end should raise");
+  match Metrics.Trace.end_span tr 999 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown id should raise"
+
+let test_trace_exception_safety () =
+  let tr, _ = manual_trace () in
+  (try
+     Metrics.Trace.span tr ~track:0 ~name:"boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_int "span closed on exception" 0 (Metrics.Trace.open_spans tr)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON well-formedness scan: balanced braces/brackets outside
+   string literals, legal escapes inside them. Not a full parser, but
+   catches the classes of emitter bugs (unescaped quotes, truncation)
+   that would break Perfetto. CI additionally runs a real JSON parser. *)
+
+let scan_json s =
+  let depth = ref 0 in
+  let i = ref 0 in
+  let n = String.length s in
+  let ok = ref true in
+  let in_str = ref false in
+  while !i < n && !ok do
+    let c = s.[!i] in
+    if !in_str then
+      if c = '\\' then incr i (* skip the escaped character *)
+      else if c = '"' then in_str := false
+      else if c = '\n' then ok := false
+    else (
+      (match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | '"' -> in_str := true
+      | _ -> ());
+      if !depth < 0 then ok := false);
+    incr i
+  done;
+  !ok && (not !in_str) && !depth = 0
+
+let count_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let c = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr c
+  done;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Cluster runs *)
+
+let coop_cfg ?(trace = false) () =
+  Swala.Config.make ~n_nodes:4 ~cache_mode:Swala.Config.Cooperative ~trace
+    ~seed:11 ()
+
+let coop_run ?trace () =
+  let wl = Workload.Synthetic.coop ~seed:11 ~n:300 ~n_unique:200 ~locality:0.1 () in
+  Swala.Cluster_runner.run (coop_cfg ?trace ()) ~trace:wl ~n_streams:8 ()
+
+(* The central guarantee: tracing observes, never perturbs. A traced run
+   must be indistinguishable from an untraced one in every simulation
+   output — same counters, same response times, same virtual makespan,
+   same event count. *)
+let test_trace_off_identical () =
+  let off = coop_run ~trace:false () in
+  let on_ = coop_run ~trace:true () in
+  check_bool "tracer off" true (off.Swala.Cluster_runner.tracer = None);
+  check_bool "tracer on" true (on_.Swala.Cluster_runner.tracer <> None);
+  check_bool "histograms off" true
+    (off.Swala.Cluster_runner.wait_histograms = []);
+  check_bool "counters equal" true
+    (Metrics.Counter.equal off.Swala.Cluster_runner.counters
+       on_.Swala.Cluster_runner.counters);
+  check_float "same makespan" off.Swala.Cluster_runner.duration
+    on_.Swala.Cluster_runner.duration;
+  check_int "same event count" off.Swala.Cluster_runner.n_events
+    on_.Swala.Cluster_runner.n_events;
+  check_int "same sample count"
+    (Metrics.Sample.count off.Swala.Cluster_runner.response)
+    (Metrics.Sample.count on_.Swala.Cluster_runner.response);
+  check_float "same mean response"
+    (Swala.Cluster_runner.mean_response off)
+    (Swala.Cluster_runner.mean_response on_);
+  check_float "same max response"
+    (Metrics.Sample.max off.Swala.Cluster_runner.response)
+    (Metrics.Sample.max on_.Swala.Cluster_runner.response)
+
+let tracer_of r =
+  match r.Swala.Cluster_runner.tracer with
+  | Some tr -> tr
+  | None -> Alcotest.fail "expected a tracer"
+
+let test_span_trees_valid () =
+  let r = coop_run ~trace:true () in
+  let tr = tracer_of r in
+  check_int "all spans closed" 0 (Metrics.Trace.open_spans tr);
+  let spans = Metrics.Trace.spans tr in
+  let roots =
+    List.filter
+      (fun s ->
+        s.Metrics.Trace.parent = Metrics.Trace.none
+        && s.Metrics.Trace.name = "request")
+      spans
+  in
+  check_int "one root per request" 300 (List.length roots);
+  (* Children start after their parents and every tree member points at
+     its tree's root. End times are NOT contained: under weak consistency
+     the server answers the client and then broadcasts, so "handle"
+     legitimately outlives the client-observed "request" interval (the
+     breakdown's telescoping self-time sum is exact regardless). *)
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "span %d well-formed" s.Metrics.Trace.id)
+        true
+        (s.Metrics.Trace.t1 >= s.Metrics.Trace.t0);
+      match Metrics.Trace.find tr s.Metrics.Trace.parent with
+      | None -> ()
+      | Some p ->
+          check_int
+            (Printf.sprintf "span %d shares its parent's root"
+               s.Metrics.Trace.id)
+            p.Metrics.Trace.root s.Metrics.Trace.root;
+          check_bool
+            (Printf.sprintf "span %d starts after its parent"
+               s.Metrics.Trace.id)
+            true
+            (s.Metrics.Trace.t0 >= p.Metrics.Trace.t0 -. 1e-9))
+    spans;
+  (* Each request tree reaches a server: at least one handle span. *)
+  let handles = Hashtbl.create 301 in
+  List.iter
+    (fun s ->
+      if s.Metrics.Trace.name = "handle" then
+        Hashtbl.replace handles s.Metrics.Trace.root ())
+    spans;
+  List.iter
+    (fun root ->
+      check_bool
+        (Printf.sprintf "tree %d has a handle span" root.Metrics.Trace.id)
+        true
+        (Hashtbl.mem handles root.Metrics.Trace.id))
+    roots
+
+let test_chrome_export () =
+  let r = coop_run ~trace:true () in
+  let tr = tracer_of r in
+  let json = Metrics.Trace.to_chrome_json tr in
+  check_bool "well-formed" true (scan_json json);
+  check_bool "trace-event envelope" true
+    (count_substring json "\"traceEvents\"" = 1);
+  (* Every span emits one begin and one end event. *)
+  let n = Metrics.Trace.n_spans tr in
+  check_int "begin events" n (count_substring json "\"ph\":\"b\"");
+  check_int "end events" n (count_substring json "\"ph\":\"e\"");
+  (* One process-name metadata row per track: 4 nodes + clients. *)
+  check_int "track names" 5 (count_substring json "\"process_name\"");
+  check_bool "clients track" true (count_substring json "\"clients\"" >= 1)
+
+(* Self times over sync spans partition each root's duration, so the
+   breakdown's phase totals must sum to the summed root durations and the
+   phase means to the mean response time (acceptance bound: 1%). *)
+let test_breakdown_sums () =
+  let r = coop_run ~trace:true () in
+  let tr = tracer_of r in
+  let b = Metrics.Trace.breakdown tr ~root:"request" in
+  check_int "all requests rooted" 300 b.Metrics.Trace.n_roots;
+  check_bool "has phases" true (List.length b.Metrics.Trace.phases > 3);
+  let sum_total =
+    List.fold_left
+      (fun acc p -> acc +. p.Metrics.Trace.total)
+      0. b.Metrics.Trace.phases
+  in
+  check_bool "phase totals sum to end-to-end (1%)" true
+    (abs_float (sum_total -. b.Metrics.Trace.total_time)
+    <= 0.01 *. b.Metrics.Trace.total_time);
+  let sum_means =
+    List.fold_left
+      (fun acc p -> acc +. p.Metrics.Trace.mean)
+      0. b.Metrics.Trace.phases
+  in
+  let mean_resp = Swala.Cluster_runner.mean_response r in
+  check_bool "phase means sum to mean response (1%)" true
+    (abs_float (sum_means -. mean_resp) <= 0.01 *. mean_resp);
+  let shares =
+    List.fold_left
+      (fun acc p -> acc +. p.Metrics.Trace.share)
+      0. b.Metrics.Trace.phases
+  in
+  check_bool "shares sum to 1 (1%)" true (abs_float (shares -. 1.) <= 0.01)
+
+let test_wait_histograms_populated () =
+  let r = coop_run ~trace:true () in
+  let hists = r.Swala.Cluster_runner.wait_histograms in
+  let expected =
+    [
+      "dir.rd_wait"; "dir.wr_wait"; "dir.queue"; "listen.wait"; "listen.depth";
+      "cpu.wait"; "cpu.queue"; "disk.wait";
+    ]
+  in
+  check_int "eight histograms" (List.length expected) (List.length hists);
+  List.iter
+    (fun name ->
+      check_bool (name ^ " exported") true (List.mem_assoc name hists))
+    expected;
+  (* A cooperative run exercises at least these three. *)
+  List.iter
+    (fun name ->
+      check_bool (name ^ " observed") true
+        (Metrics.Histogram.count (List.assoc name hists) > 0))
+    [ "dir.rd_wait"; "listen.wait"; "cpu.queue" ]
+
+(* Faults appear as instants: run through a partition that heals and
+   check the heal marker (and its Chrome rendering) is present. *)
+let test_partition_heal_instant () =
+  let wl = Workload.Synthetic.coop ~seed:3 ~n:200 ~n_unique:120 ~locality:0.1 () in
+  let cfg =
+    Swala.Config.make ~n_nodes:4 ~cache_mode:Swala.Config.Cooperative
+      ~fault:
+        (Some
+           (Sim.Fault.make
+              ~partitions:
+                [
+                  {
+                    Sim.Fault.pname = "halves";
+                    groups = [ [ 0; 1 ]; [ 2; 3 ] ];
+                    cut_at = 0.5;
+                    heal_at = 3.0;
+                  };
+                ]
+              ()))
+      ~fetch_timeout:(Some 0.5) ~trace:true ~seed:3 ()
+  in
+  let r = Swala.Cluster_runner.run cfg ~trace:wl ~n_streams:8 () in
+  let tr = tracer_of r in
+  check_bool "heal instant recorded" true
+    (List.exists
+       (fun (_, name) -> name = "partition.heal")
+       (Metrics.Trace.instants tr));
+  check_bool "heal instant exported" true
+    (count_substring (Metrics.Trace.to_chrome_json tr) "\"partition.heal\"" >= 1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "engine-local",
+        [
+          Alcotest.test_case "inherit on spawn_child" `Quick
+            test_engine_local_inherit;
+          Alcotest.test_case "outside a process" `Quick
+            test_engine_local_outside_process;
+        ] );
+      ( "span-api",
+        [
+          Alcotest.test_case "tree and child time" `Quick test_trace_span_tree;
+          Alcotest.test_case "async not charged" `Quick
+            test_trace_async_not_charged;
+          Alcotest.test_case "dangling parent roots" `Quick
+            test_trace_dangling_parent_roots;
+          Alcotest.test_case "end errors" `Quick test_trace_end_errors;
+          Alcotest.test_case "exception safety" `Quick
+            test_trace_exception_safety;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "trace off is byte-identical" `Quick
+            test_trace_off_identical;
+          Alcotest.test_case "span trees valid" `Quick test_span_trees_valid;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums;
+          Alcotest.test_case "wait histograms" `Quick
+            test_wait_histograms_populated;
+          Alcotest.test_case "partition heal instant" `Quick
+            test_partition_heal_instant;
+        ] );
+    ]
