@@ -595,6 +595,51 @@ let bench_ablation_batching () =
     rows;
   emit t
 
+let bench_ablation_dirmode () =
+  let rows = Swala.Experiments.ablation_dirmode ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A11. Metadata plane x cluster size (hot-headed coop mix, \
+         24-key Zipf 1.1 head, 5 ms CGIs): replicated broadcast vs batched \
+         broadcast vs consistent-hash sharding (+hotspot replication)."
+      ~columns:
+        [
+          ("# nodes", Metrics.Table.Right);
+          ("Plane", Metrics.Table.Left);
+          ("Dir msgs", Metrics.Table.Right);
+          ("Dir KB", Metrics.Table.Right);
+          ("Mem mean", Metrics.Table.Right);
+          ("Mem max", Metrics.Table.Right);
+          ("Fwd", Metrics.Table.Right);
+          ("LC hits", Metrics.Table.Right);
+          ("Promoted", Metrics.Table.Right);
+          ("Hits", Metrics.Table.Right);
+          ("Hit lat (ms)", Metrics.Table.Right);
+          ("Mean response (s)", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.dirmode_row) ->
+      Metrics.Table.add_row t
+        [
+          Metrics.Table.fmt_i r.Swala.Experiments.nodes_dm;
+          r.Swala.Experiments.variant_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.dir_msgs_dm;
+          Printf.sprintf "%.1f"
+            (float_of_int r.Swala.Experiments.dir_bytes_dm /. 1024.);
+          Printf.sprintf "%.1f" r.Swala.Experiments.mem_mean_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.mem_max_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.fwd_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.lcache_hits_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.promotions_dm;
+          Metrics.Table.fmt_i r.Swala.Experiments.hits_dm;
+          Printf.sprintf "%.2f" (1000. *. r.Swala.Experiments.hit_latency_dm);
+          sec r.Swala.Experiments.mean_response_dm;
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -778,6 +823,7 @@ let all_targets =
     ("ablation-faults", bench_ablation_faults);
     ("ablation-partition", bench_ablation_partition);
     ("ablation-batching", bench_ablation_batching);
+    ("ablation-dirmode", bench_ablation_dirmode);
     ("breakdown", bench_breakdown);
     ("micro", run_micro);
   ]

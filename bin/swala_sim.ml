@@ -220,6 +220,88 @@ let dir_hints_t =
            so lookups probe only hinted tables (stale hints fall back to \
            the full scan).")
 
+(* Metadata-plane options (see docs/METADATA_PLANE.md). *)
+
+let dir_mode_t =
+  let parse = function
+    | "replicated" -> Ok Swala.Config.Replicated
+    | "sharded" -> Ok Swala.Config.Sharded
+    | s -> Error (`Msg (Printf.sprintf "unknown directory mode %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Swala.Config.dir_mode_to_string m)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Swala.Config.Replicated
+    & info [ "dir-mode" ] ~docv:"MODE"
+        ~doc:
+          "Metadata plane: replicated (every node holds the full \
+           directory, updates broadcast — the paper's design) or sharded \
+           (each key has one consistent-hash home, updates are unicast \
+           to the home and remote lookups are forwarded to it). Sharded \
+           mode requires weak consistency and is incompatible with \
+           $(b,--batch-max) > 1, $(b,--dir-hints) and \
+           $(b,--anti-entropy-period).")
+
+let shard_vnodes_t =
+  Arg.(
+    value & opt int 64
+    & info [ "shard-vnodes" ] ~docv:"N"
+        ~doc:
+          "Virtual nodes per physical node on the consistent-hash ring \
+           (sharded mode); more vnodes smooth the key distribution.")
+
+let shard_lookup_cache_t =
+  Arg.(
+    value & opt int 128
+    & info [ "shard-lookup-cache" ] ~docv:"N"
+        ~doc:
+          "Capacity of the per-node positive/negative lookup cache in \
+           front of forwarded directory lookups (sharded mode); 0 \
+           disables it.")
+
+let shard_pos_ttl_t =
+  Arg.(
+    value & opt float 5.
+    & info [ "shard-pos-ttl" ] ~docv:"SEC"
+        ~doc:
+          "Seconds a positive lookup-cache entry is trusted (sharded \
+           mode) — the false-hit window.")
+
+let shard_neg_ttl_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "shard-neg-ttl" ] ~docv:"SEC"
+        ~doc:
+          "Seconds a negative lookup-cache entry is trusted (sharded \
+           mode) — the false-miss window.")
+
+let hotspot_threshold_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "hotspot-threshold" ] ~docv:"RATE"
+        ~doc:
+          "Forwarded-lookup rate (lookups/s per key at the shard home) \
+           above which the key's directory entry is replicated to ring \
+           successors (sharded mode); 0 disables hotspot replication.")
+
+let hotspot_window_t =
+  Arg.(
+    value & opt float 2.
+    & info [ "hotspot-window" ] ~docv:"SEC"
+        ~doc:
+          "Sliding-window length of the hotspot rate estimator and \
+           period of the demotion sweep.")
+
+let hotspot_replicas_t =
+  Arg.(
+    value & opt int 2
+    & info [ "hotspot-replicas" ] ~docv:"K"
+        ~doc:
+          "Ring successors a promoted hotspot key's directory entry is \
+           pushed to.")
+
 let fetch_timeout_t =
   Arg.(
     value & opt (some float) None
@@ -285,7 +367,9 @@ let trace_of_workload ~workload ~seed ~requests =
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
-    fetch_backoff batch_flush_interval batch_max dir_hints trace_file
+    fetch_backoff batch_flush_interval batch_max dir_hints dir_mode
+    shard_vnodes shard_lookup_cache shard_pos_ttl shard_neg_ttl
+    hotspot_threshold hotspot_window hotspot_replicas trace_file
     trace_breakdown metrics_out =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
@@ -320,7 +404,9 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
           ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
           ~fetch_backoff ~anti_entropy_period ~batch_max
-          ~batch_flush_interval ~dir_hints
+          ~batch_flush_interval ~dir_hints ~dir_mode ~shard_vnodes
+          ~shard_lookup_cache ~shard_pos_ttl ~shard_neg_ttl
+          ~hotspot_threshold ~hotspot_window ~hotspot_replicas
           ~trace:(trace_file <> None || trace_breakdown)
           ~seed ()
       in
@@ -424,7 +510,10 @@ let run_cmd =
       $ delay_rate_t $ delay_mean_t $ crash_mtbf_t $ crash_mttr_t
       $ fault_horizon_t $ partitions_t $ anti_entropy_t $ fetch_timeout_t
       $ fetch_retries_t $ fetch_backoff_t $ batch_flush_t $ batch_max_t
-      $ dir_hints_t $ trace_file_t $ trace_breakdown_t $ metrics_out_t)
+      $ dir_hints_t $ dir_mode_t $ shard_vnodes_t $ shard_lookup_cache_t
+      $ shard_pos_ttl_t $ shard_neg_ttl_t $ hotspot_threshold_t
+      $ hotspot_window_t $ hotspot_replicas_t $ trace_file_t
+      $ trace_breakdown_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -486,6 +575,8 @@ let list_cmd =
               "  ablation-faults       drop-rate x crash-frequency degradation";
               "  ablation-partition    partition duration x anti-entropy period";
               "  ablation-batching     directory-update batching: flush x nodes";
+              "  ablation-dirmode      metadata plane: replicated vs batched vs \
+               sharded (+hotspot)";
               "  breakdown             traced replay: latency breakdown + \
                contention histograms";
               "  micro                 Bechamel micro-benchmarks + wall-clock \

@@ -164,7 +164,8 @@ let probe t tbl ~now key =
       | Some _ | None -> None)
 
 (* Scan the probe chain [order] from position [from], skipping any table
-   whose bit is set in [skip] (already probed). *)
+   whose bit is set in [skip] (already probed). Returns the hit's table
+   id alongside the meta so the hint repair below can re-hint it. *)
 let scan_order t order ~now key ~from ~skip =
   let n = Array.length order in
   let rec go i =
@@ -174,7 +175,7 @@ let scan_order t order ~now key ~from ~skip =
       if skip land (1 lsl node) <> 0 then go (i + 1)
       else
         match probe t t.tables.(node) ~now key with
-        | Some meta -> Some meta
+        | Some meta -> Some (meta, node)
         | None -> go (i + 1)
   in
   go from
@@ -183,13 +184,13 @@ let lookup_from t ~self ~now key =
   check_node t self;
   let order = t.orders.(self) in
   match t.hints with
-  | None -> scan_order t order ~now key ~from:0 ~skip:0
+  | None -> Option.map fst (scan_order t order ~now key ~from:0 ~skip:0)
   | Some h -> (
       match Hashtbl.find_opt h key with
       | None | Some 0 ->
           (* No hint: the key should be nowhere, but hints are advisory,
              so fall back to the full ordered scan. *)
-          scan_order t order ~now key ~from:0 ~skip:0
+          Option.map fst (scan_order t order ~now key ~from:0 ~skip:0)
       | Some mask ->
           (* Probe only the hinted tables, in probe-chain order. On a hit
              we saved every un-hinted table that precedes it in the
@@ -199,7 +200,17 @@ let lookup_from t ~self ~now key =
           let rec go i probed =
             if i >= n then begin
               t.hint_false <- t.hint_false + 1;
-              scan_order t order ~now key ~from:0 ~skip:mask
+              (* Every hinted table was probed and missed, so the whole
+                 mask is stale (expired entries, or an owner change after
+                 a handoff). Drop it — otherwise every future lookup of
+                 this key would pay the false-hint fallback again — and
+                 re-hint wherever the fallback scan finds the key now. *)
+              Hashtbl.remove h key;
+              (match scan_order t order ~now key ~from:0 ~skip:mask with
+              | Some (meta, node) ->
+                  hint_add t ~node key;
+                  Some meta
+              | None -> None)
             end
             else
               let node = order.(i) in

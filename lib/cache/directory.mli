@@ -63,7 +63,12 @@ val lookup : t -> now:float -> string -> Meta.t option
     probe order is precomputed per node at {!create} time, so the chain
     allocates nothing. With [hints] enabled only hinted tables are
     probed, falling back to the full scan when the hint set is empty or
-    every hinted probe misses. *)
+    every hinted probe misses. A fully false hint (every hinted probe
+    missed — the entries expired, or the owner changed under the key)
+    additionally {e repairs} the index: the stale mask is dropped and
+    the table where the fallback scan finds the key, if any, is
+    re-hinted, so one stale hint costs one fallback scan rather than one
+    per lookup forever. *)
 val lookup_from : t -> self:int -> now:float -> string -> Meta.t option
 
 (** [insert t ~node meta] records [meta] in [node]'s table. *)

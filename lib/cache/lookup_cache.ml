@@ -1,0 +1,95 @@
+(* Positive/negative cache fronting forwarded directory lookups.
+
+   Pure host-side bookkeeping: no locks, no simulated charges — consulting
+   a small local table is free at the simulation's resolution, and the
+   win it models (not crossing the network) is charged where it is saved.
+
+   Eviction is FIFO over insertion order via a queue of keys; a queue
+   entry whose key has since been overwritten or invalidated is skipped
+   lazily, so the queue may transiently exceed [capacity] but the live
+   table never does. FIFO keeps the structure deterministic without a
+   seeded stream. *)
+
+type entry =
+  | Pos of { meta : Meta.t; until : float }
+  | Neg of { until : float }
+
+type verdict = Hit of Meta.t | Absent | Unknown
+
+type t = {
+  capacity : int;
+  pos_ttl : float;
+  neg_ttl : float;
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t;
+  mutable pos_hits : int;
+  mutable neg_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity ~pos_ttl ~neg_ttl =
+  if capacity < 1 then invalid_arg "Lookup_cache.create: capacity must be >= 1";
+  if pos_ttl <= 0. || neg_ttl <= 0. then
+    invalid_arg "Lookup_cache.create: TTLs must be positive";
+  {
+    capacity;
+    pos_ttl;
+    neg_ttl;
+    table = Hashtbl.create (2 * capacity);
+    order = Queue.create ();
+    pos_hits = 0;
+    neg_hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let find t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | Some (Pos { meta; until })
+    when now < until && not (Meta.expired meta ~now) ->
+      t.pos_hits <- t.pos_hits + 1;
+      Hit meta
+  | Some (Neg { until }) when now < until ->
+      t.neg_hits <- t.neg_hits + 1;
+      Absent
+  | Some _ ->
+      (* TTL (or the meta itself) expired; drop so the slot frees up. *)
+      Hashtbl.remove t.table key;
+      t.misses <- t.misses + 1;
+      Unknown
+  | None ->
+      t.misses <- t.misses + 1;
+      Unknown
+
+let rec make_room t =
+  if Hashtbl.length t.table >= t.capacity then
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some victim ->
+        if Hashtbl.mem t.table victim then begin
+          Hashtbl.remove t.table victim;
+          t.evictions <- t.evictions + 1
+        end;
+        make_room t
+
+let note t key entry =
+  if not (Hashtbl.mem t.table key) then begin
+    make_room t;
+    Queue.push key t.order
+  end;
+  Hashtbl.replace t.table key entry
+
+let note_pos t ~now (meta : Meta.t) =
+  note t meta.Meta.key (Pos { meta; until = now +. t.pos_ttl })
+
+let note_neg t ~now key = note t key (Neg { until = now +. t.neg_ttl })
+
+let invalidate t key = Hashtbl.remove t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let length t = Hashtbl.length t.table
+let stats t = (t.pos_hits, t.neg_hits, t.misses, t.evictions)

@@ -1,0 +1,100 @@
+(** The pluggable metadata plane: the node-local state behind "who caches
+    key k?", with two implementations behind one signature.
+
+    - {b Replicated} (the paper's design, {!Directory}): every node holds
+      a full directory replica — one table per cluster node — kept
+      consistent by broadcasting every insert/delete. O(n) memory per
+      node, O(n) messages per update, zero-message lookups.
+    - {b Sharded} ({!Ring} + {!Shard_table}): the directory is
+      partitioned over a consistent-hash ring; each key's entry lives
+      only at its home node. O(total/n) memory per node and O(1)
+      messages per update, but a lookup from a non-home node crosses the
+      network (softened by a {!Lookup_cache} and, for Zipf-head keys, by
+      {!Hotspot} replication to k ring successors).
+
+    This module owns what both planes must expose uniformly to the
+    runner and the failure paths ({!LOCAL}); the transport half of each
+    plane — broadcast vs point-to-point announcement, local probe vs
+    forwarded lookup, crash handoff — lives in [Core.Server], which
+    dispatches on the packed variant {!t}. The mode-selection trade-off
+    table is in docs/METADATA_PLANE.md. *)
+
+(** What every metadata-plane implementation exposes about its node-local
+    state. [entries] is the node's metadata footprint (the memory metric
+    of the dirmode ablation); [lock_acquisitions] the cumulative
+    (read, write) lock counts under the shared locking cost model;
+    [reset ~node] the fail-stop crash wipe of node [node]'s authoritative
+    state (no locks, no simulated charges), returning how many entries
+    were lost — the whole replica minus the peer tables for the
+    replicated plane, everything node-local for the sharded one. *)
+module type LOCAL = sig
+  type state
+
+  val mode : string
+  val entries : state -> int
+  val lock_acquisitions : state -> int * int
+  val reset : node:int -> state -> int
+end
+
+(** The replicated plane's local state is a full {!Directory} replica. *)
+module Replicated : LOCAL with type state = Directory.t
+
+(** The sharded plane's local state: the shared ring plus this node's
+    shard partition, and the optional lookup cache and hotspot tracker. *)
+module Sharded : sig
+  type state = {
+    ring : Ring.t;
+        (** immutable and shared — every node computes the same mapping *)
+    table : Shard_table.t;  (** this node's partition of the directory *)
+    lcache : Lookup_cache.t option;
+        (** fronts forwarded lookups; [None] when disabled *)
+    hotspot : Hotspot.t option;
+        (** promotion tracker; [None] when hotspot replication is off *)
+  }
+
+  include LOCAL with type state := state
+end
+
+(** A node's plane, packed. The server matches on this to route
+    announcements and lookups; everything mode-agnostic goes through the
+    functions below. *)
+type t = Replicated of Directory.t | Sharded of Sharded.state
+
+(** [replicated d] packs a directory replica as a plane. *)
+val replicated : Directory.t -> t
+
+(** [sharded ~ring ~table ?lookup_cache ?hotspot ()] packs one node's
+    sharded state. [ring] should be the single shared ring of the
+    cluster. *)
+val sharded :
+  ring:Ring.t ->
+  table:Shard_table.t ->
+  ?lookup_cache:Lookup_cache.t ->
+  ?hotspot:Hotspot.t ->
+  unit ->
+  t
+
+(** [mode_name t] is ["replicated"] or ["sharded"]. *)
+val mode_name : t -> string
+
+(** [entries t] is this node's metadata footprint in entries: the whole
+    replica (replicated) or the shard partition plus lookup cache
+    (sharded). *)
+val entries : t -> int
+
+(** [lock_acquisitions t] is the plane's cumulative (read, write) lock
+    acquisitions — {!Directory.lock_acquisitions} or
+    {!Shard_table.lock_acquisitions}. *)
+val lock_acquisitions : t -> int * int
+
+(** [reset ~node t] is the crash wipe of node [node]'s plane state; see
+    {!LOCAL.reset}. *)
+val reset : node:int -> t -> int
+
+(** [directory t] is the underlying replica when the plane is
+    replicated. *)
+val directory : t -> Directory.t option
+
+(** [shard t] is the underlying sharded state when the plane is
+    sharded. *)
+val shard : t -> Sharded.state option

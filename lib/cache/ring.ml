@@ -1,0 +1,107 @@
+(* Consistent-hash ring with virtual nodes.
+
+   The ring is a static, immutable structure shared by every node of a
+   cluster: [nodes * vnodes] points on a 62-bit hash circle, each point
+   claiming the arc that ends at it. A key's home is the physical node
+   owning the first point at or clockwise after the key's hash. Liveness
+   is *not* baked into the ring — crash handoff is expressed by walking
+   the distinct-successor order and skipping nodes the caller reports
+   down, so the mapping needs no rebuild on membership churn and every
+   node computes the same answer from the same liveness view. *)
+
+type t = {
+  points : (int * int) array;  (* (hash, node), sorted by hash *)
+  nodes : int;
+  vnodes : int;
+}
+
+(* FNV-1a, folded to 62 bits so the arithmetic stays in OCaml's tagged
+   int range on 64-bit platforms. Stable across runs and processes,
+   unlike the polymorphic [Hashtbl.hash] contract. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFFFFFFFFF)
+    s;
+  !h
+
+let create ~nodes ~vnodes =
+  if nodes < 1 then invalid_arg "Ring.create: nodes must be >= 1";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let points = Array.make (nodes * vnodes) (0, 0) in
+  for n = 0 to nodes - 1 do
+    for v = 0 to vnodes - 1 do
+      points.((n * vnodes) + v) <- (fnv1a (Printf.sprintf "vn:%d:%d" n v), n)
+    done
+  done;
+  (* Ties between points are broken by node id so the sort — and hence
+     every ownership decision — is deterministic. *)
+  Array.sort compare points;
+  { points; nodes; vnodes }
+
+let nodes t = t.nodes
+let vnodes t = t.vnodes
+
+(* Index of the first point with hash >= h, wrapping to 0 past the end. *)
+let first_at_or_after t h =
+  let n = Array.length t.points in
+  if h > fst t.points.(n - 1) then 0
+  else begin
+    (* Binary search for the leftmost point with hash >= h. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) >= h then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let owner t key =
+  snd t.points.(first_at_or_after t (fnv1a key))
+
+(* Walk the ring clockwise from the key's point, collecting the first [k]
+   distinct physical nodes. The walk touches each point at most once, so
+   it terminates even when [k > nodes] (the result is then every node, in
+   successor order). *)
+let successors t key ~k =
+  if k < 1 then invalid_arg "Ring.successors: k must be >= 1";
+  let n = Array.length t.points in
+  let start = first_at_or_after t (fnv1a key) in
+  let seen = Array.make t.nodes false in
+  let out = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < k && !i < n do
+    let node = snd t.points.((start + !i) mod n) in
+    if not seen.(node) then begin
+      seen.(node) <- true;
+      out := node :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let acting_owner t ~up key =
+  let n = Array.length t.points in
+  let start = first_at_or_after t (fnv1a key) in
+  let seen = Array.make t.nodes false in
+  let rec go i =
+    if i >= n then None
+    else
+      let node = snd t.points.((start + i) mod n) in
+      if seen.(node) then go (i + 1)
+      else if up node then Some node
+      else begin
+        seen.(node) <- true;
+        go (i + 1)
+      end
+  in
+  go 0
+
+let spread t ~keys =
+  let counts = Array.make t.nodes 0 in
+  List.iter (fun k -> counts.(owner t k) <- counts.(owner t k) + 1) keys;
+  counts

@@ -38,6 +38,25 @@ let info_sync ?(span = 0) net endpoints ~src msg =
   done;
   !sent
 
+let info_to ?(span = 0) net endpoints ~src ~dst msg =
+  match
+    Array.find_opt (fun (ep : Endpoint.t) -> ep.Endpoint.node = dst) endpoints
+  with
+  | None -> invalid_arg "Broadcast.info_to: unknown destination endpoint"
+  | Some ep ->
+      Sim.Net.send net ~src ~dst ~bytes:(Msg.info_bytes msg) ep.Endpoint.info_mb
+        { Msg.info = msg; ack = None; span }
+
+let lookup net endpoints ~src ~home req =
+  match
+    Array.find_opt (fun (ep : Endpoint.t) -> ep.Endpoint.node = home) endpoints
+  with
+  | None -> invalid_arg "Broadcast.lookup: unknown home endpoint"
+  | Some ep ->
+      Sim.Net.send net ~src ~dst:home
+        ~bytes:(Msg.lookup_request_bytes req)
+        ep.Endpoint.lookup_mb req
+
 let sync net endpoints ~src ~peer req =
   match
     Array.find_opt (fun (ep : Endpoint.t) -> ep.Endpoint.node = peer) endpoints

@@ -26,6 +26,24 @@ val info :
   ?span:int ->
   Sim.Net.t -> Endpoint.t array -> src:int -> Msg.info -> int
 
+(** [info_to net endpoints ~src ~dst msg] unicasts one directory update
+    to [dst]'s info receiver — the sharded plane's point-to-point
+    announcement path (an insert/delete travels to the key's shard home
+    only, instead of fanning out to every peer). Fire-and-forget, same
+    envelope and receiver daemon as {!info}. Must run in a process.
+    [span] as in {!info}. *)
+val info_to :
+  ?span:int ->
+  Sim.Net.t -> Endpoint.t array -> src:int -> dst:int -> Msg.info -> unit
+
+(** [lookup net endpoints ~src ~home req] sends a forwarded directory
+    lookup to [home]'s lookup server (sharded plane). The reply arrives
+    in [req.lreply]; on timeout the requester abandons the mailbox and
+    executes locally. Must run in a process. *)
+val lookup :
+  Sim.Net.t -> Endpoint.t array -> src:int -> home:int ->
+  Msg.lookup_request -> unit
+
 (** [sync net endpoints ~src ~peer req] sends one anti-entropy digest
     exchange request to [peer]'s sync responder. Fire-and-forget like
     {!info}; the reply (if the peer is up and reachable) arrives in

@@ -3,6 +3,7 @@ type t = {
   info_mb : Msg.info_envelope Sim.Mailbox.t;
   data_mb : Msg.fetch_request Sim.Mailbox.t;
   sync_mb : Msg.sync_request Sim.Mailbox.t;
+  lookup_mb : Msg.lookup_request Sim.Mailbox.t;
 }
 
 let make ~node =
@@ -11,4 +12,5 @@ let make ~node =
     info_mb = Sim.Mailbox.create ();
     data_mb = Sim.Mailbox.create ();
     sync_mb = Sim.Mailbox.create ();
+    lookup_mb = Sim.Mailbox.create ();
   }

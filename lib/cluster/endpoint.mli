@@ -8,6 +8,8 @@ type t = {
   data_mb : Msg.fetch_request Sim.Mailbox.t;  (** consumed by the data server *)
   sync_mb : Msg.sync_request Sim.Mailbox.t;
       (** consumed by the anti-entropy responder *)
+  lookup_mb : Msg.lookup_request Sim.Mailbox.t;
+      (** consumed by the sharded plane's lookup server *)
 }
 
 (** [make ~node] allocates fresh mailboxes for [node]'s daemons. *)

@@ -2,6 +2,8 @@ type info =
   | Insert of Cache.Meta.t
   | Delete of { node : int; key : string }
   | Batch of info list
+  | Promote of Cache.Meta.t
+  | Demote of { key : string }
 
 type info_envelope = {
   info : info;
@@ -18,6 +20,15 @@ type fetch_request = {
   requester : int;
   reply : fetch_reply Sim.Mailbox.t;
   span : int;
+}
+
+type lookup_reply = Found of Cache.Meta.t | Absent of { key : string }
+
+type lookup_request = {
+  lkey : string;
+  lrequester : int;
+  lreply : lookup_reply Sim.Mailbox.t;
+  lspan : int;
 }
 
 type digest = { n_entries : int; hash : int }
@@ -38,14 +49,20 @@ let envelope = 64
    across its updates; each update then costs a 12-byte sub-header plus
    its body, so [info_bytes] amortizes the fixed cost. *)
 let rec info_body = function
-  | Insert meta -> String.length meta.Cache.Meta.key + 40
-  | Delete { key; _ } -> String.length key
+  | Insert meta | Promote meta -> String.length meta.Cache.Meta.key + 40
+  | Delete { key; _ } | Demote { key } -> String.length key
   | Batch updates ->
       List.fold_left (fun acc u -> acc + 12 + info_body u) 0 updates
 
 let info_bytes i = envelope + info_body i
 
 let fetch_request_bytes { key; _ } = envelope + String.length key
+
+let lookup_request_bytes { lkey; _ } = envelope + String.length lkey
+
+let lookup_reply_bytes = function
+  | Found meta -> envelope + String.length meta.Cache.Meta.key + 40
+  | Absent { key } -> envelope + String.length key
 
 let fetch_reply_bytes = function
   | Hit { meta; body } ->

@@ -5,14 +5,24 @@
     answers {!fetch_request}s, and the purge thread originates [Delete]
     broadcasts for expired entries. *)
 
-(** Directory maintenance traffic, broadcast after local inserts/deletes.
+(** Directory maintenance traffic. Under the replicated metadata plane,
+    [Insert]/[Delete] are broadcast after local inserts/deletes, and
     [Batch] carries several coalesced updates under one shared envelope
     (Nagle-style batching, see [Core.Server]); receivers apply the
-    updates in list order, so a later update to the same key wins. *)
+    updates in list order, so a later update to the same key wins.
+
+    Under the sharded plane the same channel carries point-to-point
+    announcements instead: [Insert]/[Delete] travel only to the key's
+    shard home, and [Promote]/[Demote] are the hotspot-replication
+    control messages a home sends its replica set — [Promote] pushes a
+    hot key's entry to a ring successor, [Demote] retracts it once the
+    key cools. The replicated plane never sends [Promote]/[Demote]. *)
 type info =
   | Insert of Cache.Meta.t
   | Delete of { node : int; key : string }
   | Batch of info list
+  | Promote of Cache.Meta.t
+  | Demote of { key : string }
 
 (** What actually travels on the info channel. Under the paper's weak
     protocol [ack] is [None] (fire-and-forget); the synchronous-consistency
@@ -43,6 +53,26 @@ type fetch_request = {
   requester : int;  (** endpoint id awaiting the reply *)
   reply : fetch_reply Sim.Mailbox.t;
   span : int;  (** originating span id for causal tracing; [0] = untraced *)
+}
+
+(** {1 Sharded-plane directory lookups}
+
+    Under the sharded metadata plane a node that is not a key's shard
+    home learns who caches the key by asking the home — a blocking
+    request/reply round trip, answered by the home's lookup server. *)
+
+(** The home's answer: the live directory entry, or proof of absence
+    (the requester's cue to execute locally and announce the result). *)
+type lookup_reply = Found of Cache.Meta.t | Absent of { key : string }
+
+(** A forwarded directory lookup, sent to the key's acting shard home.
+    Like a fetch, the requester may abandon [lreply] on timeout (home
+    crashed or partitioned away) and fall back to local execution. *)
+type lookup_request = {
+  lkey : string;  (** the cache key being resolved *)
+  lrequester : int;  (** endpoint id awaiting the reply *)
+  lreply : lookup_reply Sim.Mailbox.t;
+  lspan : int;  (** originating span id for causal tracing; [0] = untraced *)
 }
 
 (** {1 Anti-entropy (directory repair)}
@@ -80,6 +110,14 @@ val info_bytes : info -> int
 
 (** [fetch_request_bytes r] is the request's approximate wire size. *)
 val fetch_request_bytes : fetch_request -> int
+
+(** [lookup_request_bytes r] is a forwarded directory lookup's size
+    (envelope plus the key text). *)
+val lookup_request_bytes : lookup_request -> int
+
+(** [lookup_reply_bytes r] is the home's answer size; [Found] carries a
+    meta record like an [Insert]. *)
+val lookup_reply_bytes : lookup_reply -> int
 
 (** [fetch_reply_bytes r] is the reply's approximate wire size ([Hit]
     includes the cached body). *)

@@ -10,6 +10,11 @@ type result = {
   hit_ratio : float;
   utilisation : float array;
   dir_locks : int * int;
+  dir_mode : string;
+  dir_entries : int array;
+  shard_imbalance : Metrics.Histogram.t;
+  forward_wait : Metrics.Histogram.t;
+  hit_latency : Metrics.Sample.t;
   store_stats : Cache.Stats.t;
   net_lost : int;
   net_lost_partition : int;
@@ -107,8 +112,25 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
   let duration = !finished_at in
   (* Hint statistics live in the directory; surface them as counters so
      runs with hints on report them alongside everything else (absent
-     when zero, keeping hint-less counter sets unchanged). *)
+     when zero, keeping hint-less counter sets unchanged). Same for the
+     sharded plane's lookup-cache outcomes. *)
   Server.record_hint_stats cluster;
+  Server.record_shard_stats cluster;
+  (* Per-node metadata footprint at run end: replica size (replicated)
+     or shard partition + lookup cache (sharded) — the memory metric and
+     load-balance diagnostic of the dirmode ablation. *)
+  let dir_entries =
+    Array.init (Server.n_nodes cluster) (fun i ->
+        Cache.Metadata_plane.entries
+          (Server.node_plane (Server.node cluster i)))
+  in
+  let shard_imbalance =
+    let h =
+      Metrics.Histogram.create ~bounds:(Metrics.Histogram.pow2_bounds ()) ()
+    in
+    Array.iter (fun n -> Metrics.Histogram.add h (float_of_int n)) dir_entries;
+    h
+  in
   let per_node_counters =
     Array.init (Server.n_nodes cluster) (fun i ->
         Server.node_counters (Server.node cluster i))
@@ -145,13 +167,18 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
       (let rd = ref 0 and wr = ref 0 in
        for i = 0 to Server.n_nodes cluster - 1 do
          let r, w =
-           Cache.Directory.lock_acquisitions
-             (Server.node_directory (Server.node cluster i))
+           Cache.Metadata_plane.lock_acquisitions
+             (Server.node_plane (Server.node cluster i))
          in
          rd := !rd + r;
          wr := !wr + w
        done;
        (!rd, !wr));
+    dir_mode = Config.dir_mode_to_string cfg.Config.dir_mode;
+    dir_entries;
+    shard_imbalance;
+    forward_wait = Server.forward_wait_histogram cluster;
+    hit_latency = Server.hit_latency cluster;
     store_stats =
       (let acc = ref (Cache.Stats.create ()) in
        for i = 0 to Server.n_nodes cluster - 1 do
@@ -222,6 +249,13 @@ let result_to_json r =
          ("net_lost_partition", J.Int r.net_lost_partition);
          ( "dir_lock_acquisitions",
            J.Obj [ ("read", J.Int rd); ("write", J.Int wr) ] );
+         ("dir_mode", J.Str r.dir_mode);
+         ( "dir_entries",
+           J.List
+             (Array.to_list (Array.map (fun n -> J.Int n) r.dir_entries)) );
+         ("shard_imbalance", histogram_json r.shard_imbalance);
+         ("forward_wait_s", histogram_json r.forward_wait);
+         ("hit_latency_s", sample_json r.hit_latency);
          ( "utilisation",
            J.List (Array.to_list (Array.map (fun u -> J.Float u) r.utilisation))
          );

@@ -19,7 +19,22 @@ type result = {
   hit_ratio : float;  (** hits over CGI requests *)
   utilisation : float array;  (** per-node CPU utilisation over [duration] *)
   dir_locks : int * int;
-      (** (read, write) directory lock acquisitions summed over nodes *)
+      (** (read, write) metadata-plane lock acquisitions summed over
+          nodes (directory rwlocks or shard-table rwlocks) *)
+  dir_mode : string;  (** ["replicated"] or ["sharded"], from the config *)
+  dir_entries : int array;
+      (** per-node metadata footprint at run end, in entries: the full
+          replica (replicated) or shard partition + lookup cache
+          (sharded) — the memory metric of the dirmode ablation *)
+  shard_imbalance : Metrics.Histogram.t;
+      (** [dir_entries] as a histogram (power-of-two buckets): the
+          spread quantifies consistent-hash load imbalance *)
+  forward_wait : Metrics.Histogram.t;
+      (** forwarded directory-lookup round-trip waits (sharded plane;
+          empty under the replicated one) *)
+  hit_latency : Metrics.Sample.t;
+      (** cache-hit service times, lookup start to response sent — see
+          {!Server.hit_latency} *)
   store_stats : Cache.Stats.t;  (** local-store statistics merged over nodes *)
   net_lost : int;
       (** protocol messages dropped by the network (uniform loss and the

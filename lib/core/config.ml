@@ -9,6 +9,12 @@ type consistency = Weak | Strong
 
 let consistency_to_string = function Weak -> "weak" | Strong -> "strong"
 
+type dir_mode = Replicated | Sharded
+
+let dir_mode_to_string = function
+  | Replicated -> "replicated"
+  | Sharded -> "sharded"
+
 type server_model = {
   model_name : string;
   accept_cost : float;
@@ -89,6 +95,14 @@ type t = {
   batch_max : int;
   batch_flush_interval : float option;
   dir_hints : bool;
+  dir_mode : dir_mode;
+  shard_vnodes : int;
+  shard_lookup_cache : int;
+  shard_pos_ttl : float;
+  shard_neg_ttl : float;
+  hotspot_threshold : float;
+  hotspot_window : float;
+  hotspot_replicas : int;
   fs_cache_hit : float;
   trace : bool;
   seed : int;
@@ -129,6 +143,14 @@ let default =
     batch_max = 1;
     batch_flush_interval = None;
     dir_hints = false;
+    dir_mode = Replicated;
+    shard_vnodes = 64;
+    shard_lookup_cache = 128;
+    shard_pos_ttl = 5.0;
+    shard_neg_ttl = 0.5;
+    hotspot_threshold = 0.;
+    hotspot_window = 2.0;
+    hotspot_replicas = 2;
     fs_cache_hit = 0.95;
     trace = false;
     seed = 42;
@@ -160,7 +182,14 @@ let make ?(n_nodes = default.n_nodes)
     ?(broadcast_latency = default.broadcast_latency)
     ?(batch_max = default.batch_max)
     ?(batch_flush_interval = default.batch_flush_interval)
-    ?(dir_hints = default.dir_hints)
+    ?(dir_hints = default.dir_hints) ?(dir_mode = default.dir_mode)
+    ?(shard_vnodes = default.shard_vnodes)
+    ?(shard_lookup_cache = default.shard_lookup_cache)
+    ?(shard_pos_ttl = default.shard_pos_ttl)
+    ?(shard_neg_ttl = default.shard_neg_ttl)
+    ?(hotspot_threshold = default.hotspot_threshold)
+    ?(hotspot_window = default.hotspot_window)
+    ?(hotspot_replicas = default.hotspot_replicas)
     ?(fs_cache_hit = default.fs_cache_hit) ?(trace = default.trace)
     ?(seed = default.seed) () =
   {
@@ -197,6 +226,14 @@ let make ?(n_nodes = default.n_nodes)
     batch_max;
     batch_flush_interval;
     dir_hints;
+    dir_mode;
+    shard_vnodes;
+    shard_lookup_cache;
+    shard_pos_ttl;
+    shard_neg_ttl;
+    hotspot_threshold;
+    hotspot_window;
+    hotspot_replicas;
     fs_cache_hit;
     trace;
     seed;
@@ -256,6 +293,36 @@ let validate t =
       "update batching applies only to the weak protocol (the strong \
        protocol acknowledges each update synchronously)"
   end;
+  check (t.shard_vnodes >= 1) "shard_vnodes must be >= 1";
+  check (t.shard_lookup_cache >= 0) "shard_lookup_cache must be >= 0";
+  check (t.shard_pos_ttl > 0.) "shard_pos_ttl must be positive";
+  check (t.shard_neg_ttl > 0.) "shard_neg_ttl must be positive";
+  check (t.hotspot_threshold >= 0.) "hotspot_threshold must be >= 0";
+  check (t.hotspot_window > 0.) "hotspot_window must be positive";
+  check (t.hotspot_replicas >= 0) "hotspot_replicas must be >= 0";
+  if t.dir_mode = Sharded then begin
+    check (t.consistency = Weak)
+      "the sharded metadata plane implements only the weak protocol (point-\
+       to-point announcements carry no acknowledgements)";
+    check (t.batch_max <= 1)
+      "update batching amortizes broadcast fan-out; the sharded plane sends \
+       point-to-point updates, so batch_max must be 1";
+    check (not t.dir_hints)
+      "the hint index accelerates the replicated per-owner table scan; the \
+       sharded plane has a single partitioned table, so dir_hints must be off";
+    check
+      (t.anti_entropy_period = None)
+      "anti-entropy repairs replicated directory divergence; the sharded \
+       plane repairs by shard handoff re-announcement instead";
+    check
+      (t.broadcast_latency = None)
+      "broadcast_latency models broadcast propagation; the sharded plane \
+       does not broadcast"
+  end
+  else
+    check (t.hotspot_threshold = 0.)
+      "hotspot_threshold requires dir_mode = Sharded (replicated mode \
+       already holds every entry on every node)";
   check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
   check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
   check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";

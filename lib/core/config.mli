@@ -24,6 +24,18 @@ type consistency = Weak | Strong
 
 val consistency_to_string : consistency -> string
 
+(** Which metadata plane keeps track of who caches what. [Replicated] is
+    the paper's design: every node holds a full copy of the directory and
+    every update is broadcast — O(n) memory per node, O(n) messages per
+    update. [Sharded] partitions the directory over a consistent-hash
+    ring: each key has one home node, updates are point-to-point
+    announcements to the home, and lookups from other nodes are forwarded
+    over the network (with a small positive/negative lookup cache in
+    front). See [Cache.Metadata_plane] and docs/METADATA_PLANE.md. *)
+type dir_mode = Replicated | Sharded
+
+val dir_mode_to_string : dir_mode -> string
+
 (** Cost profile of a server implementation. Three models reproduce the
     paper's comparison: Swala (threaded, memory-mapped I/O), NCSA
     HTTPd-like (process per request) and Netscape Enterprise-like
@@ -123,6 +135,41 @@ type t = {
       (** maintain a key→owner-set hint index in each directory replica
           so lookups probe only hinted tables (stale-tolerant; false
           hints fall back to the full scan). Default [false] *)
+  dir_mode : dir_mode;
+      (** which metadata plane to run. [Replicated] (the default) is the
+          paper's full-replication directory and is byte-identical to the
+          pre-plane builds; [Sharded] requires the [Weak] protocol and is
+          incompatible with batching, hints, anti-entropy and
+          [broadcast_latency] (each is a replication-specific mechanism) *)
+  shard_vnodes : int;
+      (** virtual nodes per physical node on the consistent-hash ring
+          (sharded mode). More vnodes smooth the key distribution at the
+          cost of a larger (still O(n·vnodes)) static ring. Default 64 *)
+  shard_lookup_cache : int;
+      (** capacity of the per-node positive/negative lookup cache that
+          fronts forwarded directory lookups; [0] disables it (every
+          non-home lookup is forwarded). Default 128 *)
+  shard_pos_ttl : float;
+      (** seconds a positive lookup-cache entry is trusted. Bounds how
+          long a node may keep fetching from an owner that has dropped
+          the entry (the false-hit window). Default 5 s *)
+  shard_neg_ttl : float;
+      (** seconds a negative lookup-cache entry is trusted. Bounds how
+          long a node may re-execute a script another node has cached in
+          the meantime (the false-miss window). Default 0.5 s *)
+  hotspot_threshold : float;
+      (** forwarded-lookup rate (lookups/s per key, measured by the shard
+          home over [hotspot_window]) above which a key is promoted: its
+          directory entry is pushed to [hotspot_replicas] ring successors
+          so their local probes hit without forwarding. [0.] (the
+          default) disables hotspot replication; positive values require
+          [Sharded] *)
+  hotspot_window : float;
+      (** sliding-window length (s) of the hotspot rate estimator, and
+          the period of the demotion sweep. Default 2 s *)
+  hotspot_replicas : int;
+      (** extra replica owners a promoted key's directory entry is pushed
+          to (the k distinct ring successors of the home). Default 2 *)
   fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
   trace : bool;
       (** record causal request spans and lock-wait histograms. Default
@@ -171,6 +218,14 @@ val make :
   ?batch_max:int ->
   ?batch_flush_interval:float option ->
   ?dir_hints:bool ->
+  ?dir_mode:dir_mode ->
+  ?shard_vnodes:int ->
+  ?shard_lookup_cache:int ->
+  ?shard_pos_ttl:float ->
+  ?shard_neg_ttl:float ->
+  ?hotspot_threshold:float ->
+  ?hotspot_window:float ->
+  ?hotspot_replicas:int ->
   ?fs_cache_hit:float ->
   ?trace:bool ->
   ?seed:int ->

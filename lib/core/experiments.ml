@@ -751,3 +751,97 @@ let ablation_batching ?(seed = default_seed) ?(node_counts = [ 2; 4; 8; 16 ])
           })
         intervals)
     node_counts
+
+(* ------------------------------------------------------------------ *)
+(* A11 — metadata plane: replicated vs batched vs sharded (+hotspot) *)
+
+type dirmode_row = {
+  nodes_dm : int;
+  variant_dm : string;
+  dir_msgs_dm : int;  (* info_msgs + dir_lookup_msgs *)
+  dir_bytes_dm : int;  (* info_bytes + dir_lookup_bytes *)
+  mem_mean_dm : float;  (* mean per-node directory entries at run end *)
+  mem_max_dm : int;  (* the most loaded node *)
+  fwd_dm : int;  (* forwarded directory lookups *)
+  lcache_hits_dm : int;  (* positive + negative lookup-cache hits *)
+  promotions_dm : int;  (* hotspot promotions at shard homes *)
+  hits_dm : int;
+  hit_latency_dm : float;  (* mean cache-hit service time, seconds *)
+  mean_response_dm : float;
+}
+
+let ablation_dirmode ?(seed = default_seed)
+    ?(node_counts = [ 8; 64; 256; 512 ]) ?(n_requests = 3000) () =
+  (* A hot-headed read-mostly mix: a quarter of the requests are unique
+     inserts (metadata writes), the rest re-reference a 24-key Zipf head
+     (metadata reads). Replicated pays O(n) messages per insert and keeps
+     the full key population in every replica; sharded pays O(1) per
+     insert plus a forwarded round trip per uncached remote lookup, and
+     each node holds only its ring partition plus the bounded lookup
+     cache. The hotspot variant promotes head keys to 3 ring successors.
+     Thresholds: with a positive-lookup TTL of 5 s, a shard home sees
+     each node at most every 5 s per hot key, so a promotion threshold of
+     1/s needs ~5 live nodes re-referencing the key — hot keys promote at
+     every swept cluster size, cold keys never do. *)
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:n_requests
+      ~n_unique:(Stdlib.max 1 (n_requests / 4))
+      ~n_hot:24 ~zipf_s:1.1 ~demand:0.005 ()
+  in
+  let variants =
+    [ "replicated"; "batched"; "sharded"; "sharded+hotspot" ]
+  in
+  List.concat_map
+    (fun nodes ->
+      List.map
+        (fun variant ->
+          let cfg =
+            match variant with
+            | "replicated" ->
+                Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+                  ~cache_threshold:0.001 ~seed ()
+            | "batched" ->
+                Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+                  ~cache_threshold:0.001 ~batch_max:8
+                  ~batch_flush_interval:(Some 0.005) ~seed ()
+            | "sharded" ->
+                Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+                  ~cache_threshold:0.001 ~dir_mode:Config.Sharded ~seed ()
+            | "sharded+hotspot" ->
+                Config.make ~n_nodes:nodes ~cache_mode:Config.Cooperative
+                  ~cache_threshold:0.001 ~dir_mode:Config.Sharded
+                  ~hotspot_threshold:1.0 ~hotspot_window:2.0
+                  ~hotspot_replicas:3 ~seed ()
+            | _ -> assert false
+          in
+          (* Streams scale with the cluster up to a cap, but never below
+             one per node, so every node serves clients at every size. *)
+          let n_streams =
+            Stdlib.max nodes (Stdlib.min (4 * nodes) 256)
+          in
+          let r = Cluster_runner.run cfg ~trace ~n_streams () in
+          let get = Metrics.Counter.get r.Cluster_runner.counters in
+          let entries = r.Cluster_runner.dir_entries in
+          {
+            nodes_dm = nodes;
+            variant_dm = variant;
+            dir_msgs_dm = get Server.K.info_msgs + get Server.K.dir_lookup_msgs;
+            dir_bytes_dm =
+              get Server.K.info_bytes + get Server.K.dir_lookup_bytes;
+            mem_mean_dm =
+              (if Array.length entries = 0 then 0.
+               else
+                 float_of_int (Array.fold_left ( + ) 0 entries)
+                 /. float_of_int (Array.length entries));
+            mem_max_dm = Array.fold_left Stdlib.max 0 entries;
+            fwd_dm = get Server.K.shard_fwd_lookups;
+            lcache_hits_dm =
+              get Server.K.lcache_pos_hits + get Server.K.lcache_neg_hits;
+            promotions_dm = get Server.K.hotspot_promotions;
+            hits_dm = r.Cluster_runner.hits;
+            hit_latency_dm =
+              Metrics.Sample.mean r.Cluster_runner.hit_latency;
+            mean_response_dm = Cluster_runner.mean_response r;
+          })
+        variants)
+    node_counts

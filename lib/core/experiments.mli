@@ -296,3 +296,40 @@ type batching_row = {
 val ablation_batching :
   ?seed:int -> ?node_counts:int list -> ?intervals:float list ->
   ?n_requests:int -> unit -> batching_row list
+
+(** {1 A11 — ablation: metadata plane (directory mode)} *)
+
+type dirmode_row = {
+  nodes_dm : int;
+  variant_dm : string;
+      (** ["replicated"], ["batched"] (flush 5 ms, [batch_max 8]),
+          ["sharded"], or ["sharded+hotspot"] (threshold 1/s, 3 replicas) *)
+  dir_msgs_dm : int;
+      (** total metadata messages: directory-update unicasts plus
+          forwarded-lookup requests and replies
+          ([info_msgs + dir_lookup_msgs]) *)
+  dir_bytes_dm : int;  (** wire bytes of those messages *)
+  mem_mean_dm : float;
+      (** mean per-node metadata footprint at run end, in directory
+          entries (full replica, or shard partition + lookup cache) *)
+  mem_max_dm : int;  (** the most loaded node's footprint *)
+  fwd_dm : int;  (** directory lookups forwarded to a remote shard home *)
+  lcache_hits_dm : int;  (** lookup-cache hits (positive + negative) *)
+  promotions_dm : int;  (** hotspot promotions decided at shard homes *)
+  hits_dm : int;
+  hit_latency_dm : float;  (** mean cache-hit service time (s) *)
+  mean_response_dm : float;
+}
+
+(** [ablation_dirmode ()] compares the two metadata planes (and update
+    batching on the replicated one) across cluster sizes on a hot-headed
+    read-mostly CGI mix. The replicated plane broadcasts every insert to
+    [n - 1] peers and keeps the whole key population in every node;
+    the sharded plane unicasts each insert to its consistent-hash home
+    and forwards uncached remote lookups there, so messages stop scaling
+    with [n] and per-node memory drops to the partition plus a bounded
+    lookup cache — at the price of a forwarding round trip on lookup
+    misses, which hotspot replication then claws back for the hot head. *)
+val ablation_dirmode :
+  ?seed:int -> ?node_counts:int list -> ?n_requests:int ->
+  unit -> dirmode_row list

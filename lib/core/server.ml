@@ -46,7 +46,39 @@ module K = struct
      hinted probe missed (the false-hint fallback ran). *)
   let hint_probes_saved = "hint_probes_saved"
   let hint_false = "hint_false"
+
+  (* Sharded metadata plane. Lookups split by how they were answered:
+     at the key's home without a message, from a hotspot replica copy,
+     or forwarded across the network. dir_lookup_msgs/bytes count the
+     forwarded round trip's wire traffic (requests at the requester,
+     replies at the home) so that info_msgs + dir_lookup_msgs is the
+     plane's total metadata message count in either mode. Lookup-cache
+     outcomes are folded in after the run (record_shard_stats), like
+     hint stats. *)
+  let shard_local_lookups = "shard_local_lookups"
+  let shard_fwd_lookups = "shard_fwd_lookups"
+  let shard_replica_hits = "shard_replica_hits"
+  let dir_lookup_msgs = "dir_lookup_msgs"
+  let dir_lookup_bytes = "dir_lookup_bytes"
+  let dir_lookup_timeouts = "dir_lookup_timeouts"
+  let lcache_pos_hits = "lcache_pos_hits"
+  let lcache_neg_hits = "lcache_neg_hits"
+  let lcache_evictions = "lcache_evictions"
+
+  (* Hotspot replication: promotions/demotions decided at shard homes,
+     replica_pushes the Promote unicasts those decisions sent. *)
+  let hotspot_promotions = "hotspot_promotions"
+  let hotspot_demotions = "hotspot_demotions"
+  let hotspot_replica_pushes = "hotspot_replica_pushes"
+
+  (* Shard handoff after a liveness change: entries re-announced to their
+     new acting homes, and entries pruned because the ring moved them
+     elsewhere. *)
+  let shard_handoff_reannounced = "shard_handoff_reannounced"
+  let shard_pruned = "shard_pruned"
 end
+
+module MP = Cache.Metadata_plane
 
 type env = {
   req : Http.Request.t;
@@ -79,7 +111,10 @@ type t = {
   listen : env Sim.Mailbox.t;
   endpoint : Cluster.Endpoint.t;
   store : Cache.Store.t;
-  dir : Cache.Directory.t;  (* this node's replica of the global directory *)
+  plane : MP.t;
+      (* the node's metadata-plane state: a full directory replica
+         (Config.Replicated) or this node's shard partition plus lookup
+         cache and hotspot tracker (Config.Sharded) *)
   counters : Metrics.Counter.t;
   in_flight : (string, int) Hashtbl.t;  (* CGI keys being executed *)
   mutable batch_buf : Cluster.Msg.info list;
@@ -102,6 +137,12 @@ type cluster = {
       (* pending crash/restart events, cancelled by [stop] *)
   tracer : Metrics.Trace.t option;
   waits : waits option;
+  hit_latency : Metrics.Sample.t;
+      (* cooperative-hit service times, directory lookup through response
+         sent; recorded host-side only, so collecting it perturbs nothing *)
+  fwd_wait : Metrics.Histogram.t;
+      (* sharded plane: forwarded-lookup round-trip waits, timeouts
+         included; host-side only, like hit_latency *)
 }
 
 let engine c = c.engine
@@ -113,9 +154,25 @@ let node c i =
   if i < 0 || i >= Array.length c.nodes then invalid_arg "Server.node: range";
   c.nodes.(i)
 
+let sharded c = c.cfg.Config.dir_mode = Config.Sharded
+
+(* The plane unpacked for mode-specific paths. Each is called only on the
+   matching mode's code path, so a [Invalid_argument] here is a server
+   bug, not a configuration error. *)
+let rdir nd =
+  match MP.directory nd.plane with
+  | Some d -> d
+  | None -> invalid_arg "Server: replicated-plane path on a sharded node"
+
+let shard_state nd =
+  match MP.shard nd.plane with
+  | Some s -> s
+  | None -> invalid_arg "Server: sharded-plane path on a replicated node"
+
 let node_counters nd = nd.counters
 let node_store nd = nd.store
-let node_directory nd = nd.dir
+let node_directory nd = rdir nd
+let node_plane nd = nd.plane
 let node_cpu nd = nd.cpu
 let node_info_mailbox nd = nd.endpoint.Cluster.Endpoint.info_mb
 
@@ -199,6 +256,16 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
           ~nodes:cfg.Config.n_nodes)
       cfg.Config.fault
   in
+  let ring =
+    (* One shared immutable ring: every node computes the same key→home
+       mapping, and liveness is supplied per query, so crashes never
+       rebuild it. *)
+    if cfg.Config.dir_mode = Config.Sharded then
+      Some
+        (Cache.Ring.create ~nodes:cfg.Config.n_nodes
+           ~vnodes:cfg.Config.shard_vnodes)
+    else None
+  in
   let net =
     Sim.Net.create ~latency:cfg.Config.net_latency
       ~bandwidth:cfg.Config.net_bandwidth ~loss:cfg.Config.net_loss
@@ -226,15 +293,47 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
           store =
             Cache.Store.create ~capacity:cfg.Config.cache_capacity
               ~policy:cfg.Config.policy ~clock ~rng:(Sim.Rng.split root) ();
-          dir =
-            (* Directory lock and scan work burns this node's CPU, so it
-               contends with request processing. *)
-            Cache.Directory.create ~granularity:cfg.Config.dir_granularity
-              ~lock_overhead:cfg.Config.dir_lock_overhead
-              ~scan_cost:cfg.Config.dir_scan_cost
-              ~charge:(fun s -> Sim.Cpu.consume cpu s)
-              ~hints:cfg.Config.dir_hints ?lock_observe
-              ~nodes:cfg.Config.n_nodes ();
+          plane =
+            (match ring with
+            | None ->
+                (* Directory lock and scan work burns this node's CPU, so
+                   it contends with request processing. *)
+                MP.replicated
+                  (Cache.Directory.create
+                     ~granularity:cfg.Config.dir_granularity
+                     ~lock_overhead:cfg.Config.dir_lock_overhead
+                     ~scan_cost:cfg.Config.dir_scan_cost
+                     ~charge:(fun s -> Sim.Cpu.consume cpu s)
+                     ~hints:cfg.Config.dir_hints ?lock_observe
+                     ~nodes:cfg.Config.n_nodes ())
+            | Some ring ->
+                (* Same lock-cost model and CPU charging as the replicated
+                   replica, so the dirmode ablation compares the planes,
+                   not their cost constants. *)
+                let table =
+                  Cache.Shard_table.create
+                    ~lock_overhead:cfg.Config.dir_lock_overhead
+                    ~charge:(fun s -> Sim.Cpu.consume cpu s)
+                    ?lock_observe ()
+                in
+                let lookup_cache =
+                  if cfg.Config.shard_lookup_cache > 0 then
+                    Some
+                      (Cache.Lookup_cache.create
+                         ~capacity:cfg.Config.shard_lookup_cache
+                         ~pos_ttl:cfg.Config.shard_pos_ttl
+                         ~neg_ttl:cfg.Config.shard_neg_ttl)
+                  else None
+                in
+                let hotspot =
+                  if cfg.Config.hotspot_threshold > 0. then
+                    Some
+                      (Cache.Hotspot.create
+                         ~threshold:cfg.Config.hotspot_threshold
+                         ~window:cfg.Config.hotspot_window)
+                  else None
+                in
+                MP.sharded ~ring ~table ?lookup_cache ?hotspot ());
           counters = Metrics.Counter.create ();
           in_flight = Hashtbl.create 64;
           batch_buf = [];
@@ -264,6 +363,8 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
     fault_handles = [];
     tracer;
     waits;
+    hit_latency = Metrics.Sample.create ();
+    fwd_wait = Metrics.Histogram.create ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -401,19 +502,35 @@ let insert_result c nd ~key ~body ~exec_time ttl =
   in
   let broadcasts = ref [] in
   (match c.cfg.Config.cache_mode with
+  | Config.Cooperative when sharded c ->
+      (* The duplicate-execution check needs the key's shard entry, which
+         lives at the home; the home performs it when this announcement
+         arrives (apply_shard). Here only the store changes — the
+         directory update is the announcement itself. *)
+      let evicted = Cache.Store.insert nd.store meta body in
+      List.iter
+        (fun (m : Cache.Meta.t) ->
+          broadcasts :=
+            Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key }
+            :: !broadcasts)
+        evicted;
+      broadcasts := Cluster.Msg.Insert meta :: !broadcasts
   | Config.Cooperative ->
       (* Weak consistency: a peer may have cached the same request while we
          executed it — the second kind of false miss (§4.2). *)
-      (match Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:created key with
+      (match
+         Cache.Directory.lookup_from (rdir nd) ~self:nd.id ~now:created key
+       with
       | Some m when m.Cache.Meta.owner <> nd.id ->
           incr nd K.false_miss_duplicate
       | Some _ | None -> ());
       let evicted = Cache.Store.insert nd.store meta body in
-      Cache.Directory.insert nd.dir ~node:nd.id meta;
+      Cache.Directory.insert (rdir nd) ~node:nd.id meta;
       List.iter
         (fun (m : Cache.Meta.t) ->
           ignore
-            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+            (Cache.Directory.delete (rdir nd) ~node:nd.id m.Cache.Meta.key
+              : bool);
           broadcasts :=
             Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key }
             :: !broadcasts)
@@ -465,12 +582,120 @@ let dispatch c nd msg =
       (sent * Cluster.Msg.info_bytes msg)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Sharded plane: point-to-point announcement routing.
+
+   Where the replicated plane broadcasts every update to all peers, the
+   sharded plane unicasts it to the key's acting home — the first live
+   node in ring-successor order — and the home alone maintains the
+   entry. Hotspot control messages (Promote/Demote) flow from homes to
+   their replica sets on the same info channel. *)
+
+let key_of_update = function
+  | Cluster.Msg.Insert m | Cluster.Msg.Promote m -> m.Cache.Meta.key
+  | Cluster.Msg.Delete { key; _ } | Cluster.Msg.Demote { key } -> key
+  | Cluster.Msg.Batch _ -> invalid_arg "Server: sharded updates never batch"
+
+(* Unicast one announcement, charging the same counters as the replicated
+   broadcast so info_msgs/info_bytes compare directly across planes. *)
+let unicast_info c nd ~dst msg =
+  Cluster.Broadcast.info_to ~span:(span_of c) c.net c.endpoints ~src:nd.id
+    ~dst msg;
+  incr nd K.info_msgs;
+  Metrics.Counter.add nd.counters K.info_bytes (Cluster.Msg.info_bytes msg)
+
+(* The nodes a hot key is replicated to: the ring successors after the
+   primary owner, live nodes only, never self. *)
+let replica_set c nd key =
+  let st = shard_state nd in
+  match
+    Cache.Ring.successors st.MP.Sharded.ring key
+      ~k:(1 + c.cfg.Config.hotspot_replicas)
+  with
+  | [] | [ _ ] -> []
+  | _ :: tail -> List.filter (fun j -> j <> nd.id && c.nodes.(j).up) tail
+
+let push_promote c nd (meta : Cache.Meta.t) =
+  List.iter
+    (fun j ->
+      incr nd K.hotspot_replica_pushes;
+      unicast_info c nd ~dst:j (Cluster.Msg.Promote meta))
+    (replica_set c nd meta.Cache.Meta.key)
+
+let push_demote c nd key =
+  List.iter
+    (fun j -> unicast_info c nd ~dst:j (Cluster.Msg.Demote { key }))
+    (replica_set c nd key)
+
+(* Apply one announcement at its destination — the shard home for
+   inserts/deletes, a replica for promote/demote. Also runs directly when
+   the announcing node is itself the acting home (no message then, like
+   the replicated plane's local table update). *)
+let apply_shard c nd msg =
+  let st = shard_state nd in
+  let table = st.MP.Sharded.table in
+  match msg with
+  | Cluster.Msg.Insert meta ->
+      incr nd K.info_applied;
+      (match Cache.Shard_table.insert table meta with
+      | `Replaced old when old.Cache.Meta.owner <> meta.Cache.Meta.owner ->
+          (* Duplicate execution discovered at reconciliation — the
+             paper's second kind of false miss, observed at the shard
+             home rather than at insert time. *)
+          incr nd K.false_miss_duplicate
+      | `Inserted | `Replaced _ | `Stale -> ());
+      (* A hot key's replicas must see updates too, or their copies would
+         serve the superseded owner until demotion. *)
+      (match st.MP.Sharded.hotspot with
+      | Some h when Cache.Hotspot.is_hot h meta.Cache.Meta.key ->
+          push_promote c nd meta
+      | Some _ | None -> ())
+  | Cluster.Msg.Delete { node; key } ->
+      incr nd K.info_applied;
+      ignore (Cache.Shard_table.delete table ~owner:node key : bool);
+      (match st.MP.Sharded.hotspot with
+      | Some h when Cache.Hotspot.forget h key ->
+          incr nd K.hotspot_demotions;
+          push_demote c nd key
+      | Some _ | None -> ())
+  | Cluster.Msg.Promote meta ->
+      incr nd K.info_applied;
+      ignore
+        (Cache.Shard_table.insert table meta
+          : [ `Inserted | `Replaced of Cache.Meta.t | `Stale ])
+  | Cluster.Msg.Demote { key } ->
+      incr nd K.info_applied;
+      (* Retract the replica copy — unless the ring now makes this node
+         the key's acting home (the primary crashed since the promote), in
+         which case the copy is the authoritative entry. *)
+      let up i = c.nodes.(i).up in
+      if Cache.Ring.acting_owner st.MP.Sharded.ring ~up key <> Some nd.id
+      then ignore (Cache.Shard_table.delete table key : bool)
+  | Cluster.Msg.Batch _ ->
+      invalid_arg "Server: batched update on the sharded plane"
+
+(* Route one announcement to the key's acting home. *)
+let dispatch_sharded c nd msg =
+  with_span c nd "announce" @@ fun () ->
+  let st = shard_state nd in
+  let up i = c.nodes.(i).up in
+  match
+    Cache.Ring.acting_owner st.MP.Sharded.ring ~up (key_of_update msg)
+  with
+  | None -> ()  (* every node down; no directory left to update *)
+  | Some home when home = nd.id -> apply_shard c nd msg
+  | Some home -> unicast_info c nd ~dst:home msg
+
+(* ------------------------------------------------------------------ *)
+
 (* The (table, key) a buffered update settles; two updates with the same
    target coalesce because the later one fully determines the key's final
    directory state. *)
 let update_target = function
   | Cluster.Msg.Insert m -> (m.Cache.Meta.owner, m.Cache.Meta.key)
   | Cluster.Msg.Delete { node; key } -> (node, key)
+  | Cluster.Msg.Promote _ | Cluster.Msg.Demote _ ->
+      invalid_arg "Server: hotspot control messages are never batched"
   | Cluster.Msg.Batch _ -> invalid_arg "Server: batches cannot nest"
 
 (* Transmit whatever the outbound buffer holds. A single buffered update
@@ -499,8 +724,11 @@ let enqueue c nd msg =
   (match msg with
   | Cluster.Msg.Insert _ -> incr nd K.broadcast_insert
   | Cluster.Msg.Delete _ -> incr nd K.broadcast_delete
+  | Cluster.Msg.Promote _ | Cluster.Msg.Demote _ ->
+      invalid_arg "Server: hotspot control messages do not enqueue"
   | Cluster.Msg.Batch _ -> invalid_arg "Server: batches cannot nest");
-  if c.cfg.Config.batch_max <= 1 then dispatch c nd msg
+  if sharded c then dispatch_sharded c nd msg
+  else if c.cfg.Config.batch_max <= 1 then dispatch c nd msg
   else begin
     let target = update_target msg in
     let rest =
@@ -583,7 +811,7 @@ let exec_and_respond c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) =
 (* ------------------------------------------------------------------ *)
 (* Cache hit paths *)
 
-let serve_local c nd env (entry : Cache.Store.entry) =
+let serve_local c nd env ~t0 (entry : Cache.Store.entry) =
   incr nd K.hit_local;
   with_span c nd "hit.local" (fun () ->
       Sim.Cpu.consume nd.cpu c.cfg.Config.local_fetch_cost;
@@ -593,9 +821,10 @@ let serve_local c nd env (entry : Cache.Store.entry) =
       Sim.Cpu.consume nd.cpu
         (c.cfg.Config.model.Config.per_byte_send
         *. float_of_int (String.length entry.Cache.Store.body)));
-  respond c nd env (Http.Response.ok entry.Cache.Store.body)
+  respond c nd env (Http.Response.ok entry.Cache.Store.body);
+  Metrics.Sample.add c.hit_latency (now () -. t0)
 
-let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
+let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) ~t0
     (meta : Cache.Meta.t) =
   let owner = meta.Cache.Meta.owner in
   let answer =
@@ -632,9 +861,22 @@ let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
          re-announce whatever it still caches as requests repopulate it. *)
       (match c.fault with
       | Some _ ->
-          let purged = Cache.Directory.purge_node nd.dir ~node:owner in
-          if purged > 0 then
-            Metrics.Counter.add nd.counters K.dir_suspect_purged purged
+          if sharded c then begin
+            let st = shard_state nd in
+            let purged =
+              Cache.Shard_table.purge_owner st.MP.Sharded.table ~node:owner
+            in
+            if purged > 0 then
+              Metrics.Counter.add nd.counters K.dir_suspect_purged purged;
+            Option.iter
+              (fun lc -> Cache.Lookup_cache.invalidate lc key)
+              st.MP.Sharded.lcache
+          end
+          else begin
+            let purged = Cache.Directory.purge_node (rdir nd) ~node:owner in
+            if purged > 0 then
+              Metrics.Counter.add nd.counters K.dir_suspect_purged purged
+          end
       | None -> ());
       exec_and_respond c nd env script key ~ctl
   | Some (Cluster.Msg.Hit { body; _ }) ->
@@ -642,12 +884,159 @@ let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl)
       Sim.Cpu.consume nd.cpu
         (c.cfg.Config.model.Config.per_byte_send
         *. float_of_int (String.length body));
-      respond c nd env (Http.Response.ok body)
+      respond c nd env (Http.Response.ok body);
+      Metrics.Sample.add c.hit_latency (now () -. t0)
   | Some (Cluster.Msg.Miss _) ->
       (* False hit: the entry vanished at the owner after our directory
          lookup. Execute locally, as in Figure 2. *)
       incr nd K.false_hit;
+      if sharded c then
+        (* The positive information that led here was provably stale. *)
+        Option.iter
+          (fun lc -> Cache.Lookup_cache.invalidate lc key)
+          (shard_state nd).MP.Sharded.lcache;
       exec_and_respond c nd env script key ~ctl
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-plane lookup (Figure 2's directory query, re-routed through
+   the consistent-hash ring) *)
+
+(* Count one home-served lookup toward hotspot promotion; when this very
+   observation promotes the key, push its entry to the replica set. A
+   promotion on a miss has nothing to push — the next Insert announcement
+   does it (apply_shard checks is_hot). *)
+let note_hot_lookup c nd meta_opt key =
+  match (shard_state nd).MP.Sharded.hotspot with
+  | None -> ()
+  | Some h -> (
+      match Cache.Hotspot.record h ~now:(now ()) key with
+      | `Noted -> ()
+      | `Promoted -> (
+          incr nd K.hotspot_promotions;
+          match meta_opt with
+          | Some meta -> push_promote c nd meta
+          | None -> ()))
+
+(* A directory hit whose meta points at this very node: serve from the
+   store, or repair the shard entry when the store raced it away. *)
+let serve_self_or_repair c nd env script key ~ctl ~t0 ~drop_entry =
+  match Cache.Store.lookup nd.store key with
+  | Some entry -> serve_local c nd env ~t0 entry
+  | None ->
+      incr nd K.dir_stale_self;
+      if drop_entry then
+        ignore
+          (Cache.Shard_table.delete (shard_state nd).MP.Sharded.table
+             ~owner:nd.id key
+            : bool);
+      exec_and_respond c nd env script key ~ctl
+
+(* Ask the key's acting home who caches it — the sharded plane's only
+   remote metadata operation. The request is counted at the requester,
+   the reply at the home (lookup_server), so summing nodes counts both
+   legs. *)
+let forward_lookup c nd env (script : Cgi.Script.t) key ~ctl ~t0 ~home =
+  let st = shard_state nd in
+  incr nd K.shard_fwd_lookups;
+  let t_fwd = now () in
+  let answer =
+    with_span c nd "dir.forward" ~attrs:[ ("home", string_of_int home) ]
+    @@ fun () ->
+    let reply_mb = Sim.Mailbox.create () in
+    let req =
+      {
+        Cluster.Msg.lkey = key;
+        lrequester = nd.id;
+        lreply = reply_mb;
+        lspan = span_of c;
+      }
+    in
+    Cluster.Broadcast.lookup c.net c.endpoints ~src:nd.id ~home req;
+    incr nd K.dir_lookup_msgs;
+    Metrics.Counter.add nd.counters K.dir_lookup_bytes
+      (Cluster.Msg.lookup_request_bytes req);
+    match c.cfg.Config.fetch_timeout with
+    | None -> Some (Sim.Mailbox.recv reply_mb)
+    | Some timeout -> Sim.Mailbox.recv_timeout reply_mb ~timeout
+  in
+  Metrics.Histogram.add c.fwd_wait (now () -. t_fwd);
+  match answer with
+  | None ->
+      (* Home crashed or partitioned away: execute locally. The crash
+         handoff (or the fetch-timeout suspect purge) repairs the shard. *)
+      incr nd K.dir_lookup_timeouts;
+      Option.iter
+        (fun lc -> Cache.Lookup_cache.invalidate lc key)
+        st.MP.Sharded.lcache;
+      exec_and_respond c nd env script key ~ctl
+  | Some (Cluster.Msg.Found meta) ->
+      Option.iter
+        (fun lc -> Cache.Lookup_cache.note_pos lc ~now:(now ()) meta)
+        st.MP.Sharded.lcache;
+      if meta.Cache.Meta.owner = nd.id then
+        (* The home believes we cache it but our store disagrees (purge
+           raced the delete announcement): the delete is already on the
+           wire, so only execute. *)
+        serve_self_or_repair c nd env script key ~ctl ~t0 ~drop_entry:false
+      else fetch_remote c nd env script key ~ctl ~t0 meta
+  | Some (Cluster.Msg.Absent _) ->
+      Option.iter
+        (fun lc -> Cache.Lookup_cache.note_neg lc ~now:(now ()) key)
+        st.MP.Sharded.lcache;
+      exec_and_respond c nd env script key ~ctl
+
+let lookup_sharded c nd env (script : Cgi.Script.t) key ~ctl =
+  let st = shard_state nd in
+  let ring = st.MP.Sharded.ring in
+  let t0 = now () in
+  let up i = c.nodes.(i).up in
+  match Cache.Ring.acting_owner ring ~up key with
+  | None ->
+      (* Every node is down but this one is handling a request — cannot
+         happen outside shutdown races; degrade to plain execution. *)
+      exec_and_respond c nd env script key ~ctl
+  | Some home when home = nd.id -> (
+      incr nd K.shard_local_lookups;
+      match
+        with_span c nd "dir.lookup" (fun () ->
+            Cache.Shard_table.probe st.MP.Sharded.table ~now:(now ()) key)
+      with
+      | None ->
+          note_hot_lookup c nd None key;
+          exec_and_respond c nd env script key ~ctl
+      | Some meta ->
+          note_hot_lookup c nd (Some meta) key;
+          if meta.Cache.Meta.owner = nd.id then
+            serve_self_or_repair c nd env script key ~ctl ~t0 ~drop_entry:true
+          else fetch_remote c nd env script key ~ctl ~t0 meta)
+  | Some home -> (
+      (* Hotspot fast path: with promotion on, this node's table may hold
+         a pushed copy of a hot key — probe before paying the forward. *)
+      let promoted =
+        match st.MP.Sharded.hotspot with
+        | Some _ ->
+            with_span c nd "dir.lookup" (fun () ->
+                Cache.Shard_table.probe st.MP.Sharded.table ~now:(now ()) key)
+        | None -> None
+      in
+      match promoted with
+      | Some meta ->
+          incr nd K.shard_replica_hits;
+          if meta.Cache.Meta.owner = nd.id then
+            serve_self_or_repair c nd env script key ~ctl ~t0 ~drop_entry:true
+          else fetch_remote c nd env script key ~ctl ~t0 meta
+      | None -> (
+          match
+            Option.map
+              (fun lc -> Cache.Lookup_cache.find lc ~now:(now ()) key)
+              st.MP.Sharded.lcache
+          with
+          | Some (Cache.Lookup_cache.Hit meta) ->
+              fetch_remote c nd env script key ~ctl ~t0 meta
+          | Some Cache.Lookup_cache.Absent ->
+              exec_and_respond c nd env script key ~ctl
+          | Some Cache.Lookup_cache.Unknown | None ->
+              forward_lookup c nd env script key ~ctl ~t0 ~home))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 control flow *)
@@ -663,25 +1052,31 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
     match c.cfg.Config.cache_mode with
     | Config.Disabled -> assert false
     | Config.Standalone -> (
+        let t0 = now () in
         match Cache.Store.lookup nd.store key with
-        | Some entry -> serve_local c nd env entry
+        | Some entry -> serve_local c nd env ~t0 entry
         | None -> exec_and_respond c nd env script key ~ctl)
+    | Config.Cooperative when sharded c ->
+        lookup_sharded c nd env script key ~ctl
     | Config.Cooperative -> (
+        let t0 = now () in
         match
           with_span c nd "dir.lookup" (fun () ->
-              Cache.Directory.lookup_from nd.dir ~self:nd.id ~now:(now ()) key)
+              Cache.Directory.lookup_from (rdir nd) ~self:nd.id ~now:(now ())
+                key)
         with
         | None -> exec_and_respond c nd env script key ~ctl
         | Some meta when meta.Cache.Meta.owner = nd.id -> (
             match Cache.Store.lookup nd.store key with
-            | Some entry -> serve_local c nd env entry
+            | Some entry -> serve_local c nd env ~t0 entry
             | None ->
                 (* Directory said we own it but the store dropped it
                    (expiry race); repair and execute. *)
                 incr nd K.dir_stale_self;
-                ignore (Cache.Directory.delete nd.dir ~node:nd.id key : bool);
+                ignore
+                  (Cache.Directory.delete (rdir nd) ~node:nd.id key : bool);
                 exec_and_respond c nd env script key ~ctl)
-        | Some meta -> fetch_remote c nd env script key ~ctl meta)
+        | Some meta -> fetch_remote c nd env script key ~ctl ~t0 meta)
 
 let handle c nd env =
   with_span c nd "handle" ~parent:env.span
@@ -736,14 +1131,18 @@ let request_thread c nd =
 let rec apply_info nd = function
   | Cluster.Msg.Insert meta ->
       incr nd K.info_applied;
-      Cache.Directory.insert nd.dir ~node:meta.Cache.Meta.owner meta
+      Cache.Directory.insert (rdir nd) ~node:meta.Cache.Meta.owner meta
   | Cluster.Msg.Delete { node; key } ->
       incr nd K.info_applied;
-      ignore (Cache.Directory.delete nd.dir ~node key : bool)
+      ignore (Cache.Directory.delete (rdir nd) ~node key : bool)
   | Cluster.Msg.Batch updates -> List.iter (apply_info nd) updates
+  | Cluster.Msg.Promote _ | Cluster.Msg.Demote _ ->
+      invalid_arg "Server: hotspot control message on the replicated plane"
 
 let rec info_updates = function
-  | Cluster.Msg.Insert _ | Cluster.Msg.Delete _ -> 1
+  | Cluster.Msg.Insert _ | Cluster.Msg.Delete _ | Cluster.Msg.Promote _
+  | Cluster.Msg.Demote _ ->
+      1
   | Cluster.Msg.Batch l -> List.fold_left (fun a u -> a + info_updates u) 0 l
 
 let info_daemon c nd =
@@ -760,7 +1159,8 @@ let info_daemon c nd =
         Sim.Cpu.consume nd.cpu
           (float_of_int (info_updates envelope.Cluster.Msg.info)
           *. c.cfg.Config.info_apply_cost);
-        apply_info nd envelope.Cluster.Msg.info;
+        (if sharded c then apply_shard c nd envelope.Cluster.Msg.info
+         else apply_info nd envelope.Cluster.Msg.info);
         match envelope.Cluster.Msg.ack with
         | Some (sender, ack) ->
             incr nd K.acks_sent;
@@ -801,6 +1201,65 @@ let data_server c nd =
   in
   loop ()
 
+(* The sharded plane's extra daemon: answer forwarded directory lookups
+   for the keys this node homes. One thread per request, like the data
+   server; a crashed home never replies, so the requester times out and
+   executes locally. *)
+let lookup_server c nd =
+  let rec loop () =
+    let req = Sim.Mailbox.recv nd.endpoint.Cluster.Endpoint.lookup_mb in
+    if not nd.up then loop ()  (* in flight across the crash instant: lost *)
+    else begin
+      Sim.Engine.spawn_child (fun () ->
+          with_span c nd "dir.serve" ~parent:req.Cluster.Msg.lspan ~async:true
+          @@ fun () ->
+          Sim.Cpu.consume nd.cpu c.cfg.Config.info_apply_cost;
+          let st = shard_state nd in
+          let found =
+            Cache.Shard_table.probe st.MP.Sharded.table ~now:(now ())
+              req.Cluster.Msg.lkey
+          in
+          (* Forwarded lookups are the home's view of the key's demand —
+             the signal hotspot promotion feeds on. *)
+          note_hot_lookup c nd found req.Cluster.Msg.lkey;
+          let reply =
+            match found with
+            | Some meta -> Cluster.Msg.Found meta
+            | None -> Cluster.Msg.Absent { key = req.Cluster.Msg.lkey }
+          in
+          incr nd K.dir_lookup_msgs;
+          Metrics.Counter.add nd.counters K.dir_lookup_bytes
+            (Cluster.Msg.lookup_reply_bytes reply);
+          Sim.Net.send c.net ~src:nd.id ~dst:req.Cluster.Msg.lrequester
+            ~bytes:(Cluster.Msg.lookup_reply_bytes reply)
+            req.Cluster.Msg.lreply reply);
+      loop ()
+    end
+  in
+  loop ()
+
+(* Demote cooled hotspot keys once per window. Only shard homes promote,
+   so only they originate demotions; Hotspot.sweep returns the cooled
+   keys sorted, keeping the message order deterministic. *)
+let hotspot_sweeper c nd ~period =
+  let rec loop () =
+    if not nd.stop then begin
+      Sim.Engine.delay period;
+      (if nd.up && not nd.stop then
+         match (shard_state nd).MP.Sharded.hotspot with
+         | None -> ()
+         | Some h ->
+             List.iter
+               (fun key ->
+                 incr nd K.hotspot_demotions;
+                 with_span c nd "hotspot.demote" (fun () ->
+                     push_demote c nd key))
+               (Cache.Hotspot.sweep h ~now:(now ())));
+      loop ()
+    end
+  in
+  loop ()
+
 (* ------------------------------------------------------------------ *)
 (* Node crash and restart (fault injection).
 
@@ -824,7 +1283,11 @@ let crash nd =
     nd.up <- false;
     incr nd K.crashes;
     ignore (Cache.Store.clear nd.store : int);
-    ignore (Cache.Directory.reset_node nd.dir ~node:nd.id : int);
+    (* Replicated: wipe only this node's own directory table (peer tables
+       are replicas of state that still exists elsewhere). Sharded: the
+       whole node-local plane dies — shard partition, lookup cache and
+       hotspot tracker. *)
+    ignore (MP.reset ~node:nd.id nd.plane : int);
     Hashtbl.reset nd.in_flight;
     (* Buffered-but-unflushed directory updates die with the node; peers
        learn of the lost entries via false hits / anti-entropy, exactly
@@ -837,6 +1300,59 @@ let restart nd =
     nd.up <- true;
     incr nd K.restarts
   end
+
+(* Shard handoff: after any liveness change (crash, restart, partition
+   heal) every live node re-derives which keys it answers for and
+   re-announces its own cached entries to their — possibly new — acting
+   homes. Re-announcements reconcile newest-wins at the receiver, so the
+   protocol is idempotent and safe to over-trigger. On a crash the dead
+   node's directory entries are additionally dropped eagerly
+   ([purge_owner]) instead of waiting for fetch-timeout suspicion; stale
+   positive lookup-cache entries pointing at the dead node are left to
+   expire (bounded by [shard_pos_ttl]) or be invalidated by the first
+   timed-out fetch. Runs as a spawned process per node: the triggering
+   event callback cannot block on locks or the network. *)
+let shard_handoff c ?died () =
+  Array.iter
+    (fun nd ->
+      if nd.up then
+        Sim.Engine.spawn c.engine (fun () ->
+            let st = shard_state nd in
+            let ring = st.MP.Sharded.ring in
+            (match died with
+            | Some j ->
+                let purged =
+                  Cache.Shard_table.purge_owner st.MP.Sharded.table ~node:j
+                in
+                if purged > 0 then
+                  Metrics.Counter.add nd.counters K.dir_suspect_purged purged
+            | None -> ());
+            let up i = c.nodes.(i).up in
+            (* Drop entries this node no longer answers for — unless it
+               may legitimately hold them as a hotspot replica. *)
+            let keep key =
+              match Cache.Ring.acting_owner ring ~up key with
+              | Some h when h = nd.id -> true
+              | Some _ | None ->
+                  c.cfg.Config.hotspot_threshold > 0.
+                  && List.exists
+                       (fun j -> j = nd.id)
+                       (Cache.Ring.successors ring key
+                          ~k:(1 + c.cfg.Config.hotspot_replicas))
+            in
+            let pruned = Cache.Shard_table.prune st.MP.Sharded.table ~keep in
+            if pruned > 0 then
+              Metrics.Counter.add nd.counters K.shard_pruned pruned;
+            List.iter
+              (fun key ->
+                match Cache.Store.peek nd.store key with
+                | None -> ()
+                | Some entry ->
+                    incr nd K.shard_handoff_reannounced;
+                    dispatch_sharded c nd
+                      (Cluster.Msg.Insert entry.Cache.Store.meta))
+              (Cache.Store.keys nd.store)))
+    c.nodes
 
 (* ------------------------------------------------------------------ *)
 (* Anti-entropy (directory repair).
@@ -880,37 +1396,37 @@ let ae_merge c nd (reply : Cluster.Msg.sync_reply) ~peer =
             (fun (m : Cache.Meta.t) ->
               if not (Hashtbl.mem keep m.Cache.Meta.key) then
                 ignore
-                  (Cache.Directory.delete nd.dir ~node:j m.Cache.Meta.key
+                  (Cache.Directory.delete (rdir nd) ~node:j m.Cache.Meta.key
                     : bool))
-            (Cache.Directory.entries nd.dir ~node:j);
+            (Cache.Directory.entries (rdir nd) ~node:j);
           List.iter
             (fun (m : Cache.Meta.t) ->
-              match Cache.Directory.find nd.dir ~node:j m.Cache.Meta.key with
+              match Cache.Directory.find (rdir nd) ~node:j m.Cache.Meta.key with
               | Some cur when cur.Cache.Meta.created >= m.Cache.Meta.created ->
                   ()
               | (Some _ | None) as cur ->
                   if cur = None
-                     && Cache.Directory.find nd.dir ~node:nd.id
+                     && Cache.Directory.find (rdir nd) ~node:nd.id
                           m.Cache.Meta.key
                         <> None
                   then incr nd K.false_miss_duplicate;
-                  Cache.Directory.insert nd.dir ~node:j m;
+                  Cache.Directory.insert (rdir nd) ~node:j m;
                   Stdlib.incr pulled)
             metas
         end
         else
           List.iter
             (fun (m : Cache.Meta.t) ->
-              match Cache.Directory.find nd.dir ~node:j m.Cache.Meta.key with
+              match Cache.Directory.find (rdir nd) ~node:j m.Cache.Meta.key with
               | Some cur when cur.Cache.Meta.created >= m.Cache.Meta.created ->
                   ()
               | (Some _ | None) as cur ->
                   if cur = None
-                     && Cache.Directory.find nd.dir ~node:nd.id
+                     && Cache.Directory.find (rdir nd) ~node:nd.id
                           m.Cache.Meta.key
                         <> None
                   then incr nd K.false_miss_duplicate;
-                  Cache.Directory.insert nd.dir ~node:j m;
+                  Cache.Directory.insert (rdir nd) ~node:j m;
                   Stdlib.incr pulled)
             metas)
     reply.Cluster.Msg.tables;
@@ -928,7 +1444,7 @@ let ae_round c nd ~period =
   incr nd K.anti_entropy_rounds;
   let digests =
     Array.init n (fun j ->
-        let n_entries, hash = Cache.Directory.digest nd.dir ~node:j in
+        let n_entries, hash = Cache.Directory.digest (rdir nd) ~node:j in
         { Cluster.Msg.n_entries; hash })
   in
   let reply_mb = Sim.Mailbox.create () in
@@ -973,7 +1489,7 @@ let sync_responder c nd =
       let n = Array.length c.nodes in
       let tables = ref [] in
       for j = n - 1 downto 0 do
-        let n_entries, hash = Cache.Directory.digest nd.dir ~node:j in
+        let n_entries, hash = Cache.Directory.digest (rdir nd) ~node:j in
         let differs =
           match
             if j < Array.length req.Cluster.Msg.digests then
@@ -985,7 +1501,7 @@ let sync_responder c nd =
           | None -> true
         in
         if differs then
-          tables := (j, Cache.Directory.entries nd.dir ~node:j) :: !tables
+          tables := (j, Cache.Directory.entries (rdir nd) ~node:j) :: !tables
       done;
       let reply = { Cluster.Msg.tables = !tables } in
       Sim.Net.send c.net ~src:nd.id ~dst:req.Cluster.Msg.from_node
@@ -1004,8 +1520,12 @@ let purge_daemon c nd =
       List.iter
         (fun (m : Cache.Meta.t) ->
           incr nd K.purged;
-          ignore
-            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+          (* Sharded: the local directory update IS the announcement —
+             dispatch applies it locally when this node is the home. *)
+          if not (sharded c) then
+            ignore
+              (Cache.Directory.delete (rdir nd) ~node:nd.id m.Cache.Meta.key
+                : bool);
           if c.cfg.Config.cache_mode = Config.Cooperative then
             send_broadcasts c nd
               [ Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key } ])
@@ -1046,6 +1566,12 @@ let start c =
           Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
           Sim.Engine.spawn c.engine (fun () -> data_server c nd);
           Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd);
+          if sharded c then begin
+            Sim.Engine.spawn c.engine (fun () -> lookup_server c nd);
+            if c.cfg.Config.hotspot_threshold > 0. then
+              Sim.Engine.spawn c.engine (fun () ->
+                  hotspot_sweeper c nd ~period:c.cfg.Config.hotspot_window)
+          end;
           (match (c.cfg.Config.batch_max, c.cfg.Config.batch_flush_interval)
            with
           | n, Some period when n > 1 ->
@@ -1073,13 +1599,17 @@ let start c =
                 c.fault_handles <-
                   Sim.Engine.schedule_at c.engine down_at (fun () ->
                       crash nd;
-                      emit_instant c ~track:nd.id "crash")
+                      emit_instant c ~track:nd.id "crash";
+                      if sharded c then shard_handoff c ~died:nd.id ())
                   :: c.fault_handles;
               if up_at >= now then
                 c.fault_handles <-
                   Sim.Engine.schedule_at c.engine up_at (fun () ->
                       restart nd;
-                      emit_instant c ~track:nd.id "restart")
+                      emit_instant c ~track:nd.id "restart";
+                      (* the ring hands the node's keys back: peers prune
+                         and re-announce, repopulating its empty shard *)
+                      if sharded c then shard_handoff c ())
                   :: c.fault_handles)
             (Sim.Fault.schedule f ~node:nd.id))
         c.nodes;
@@ -1091,7 +1621,10 @@ let start c =
             c.fault_handles <-
               Sim.Engine.schedule_at c.engine p.Sim.Fault.heal_at (fun () ->
                   incr c.nodes.(0) K.partitions_healed;
-                  emit_instant c ~track:0 "partition.heal")
+                  emit_instant c ~track:0 "partition.heal";
+                  (* announcements dropped at the cut are unrecoverable
+                     point-to-point losses; re-announce everything *)
+                  if sharded c then shard_handoff c ())
               :: c.fault_handles)
         (Sim.Fault.partitions f)
 
@@ -1150,8 +1683,10 @@ let delete_everywhere c pred =
         (fun (m : Cache.Meta.t) ->
           incr nd K.invalidations;
           removed := !removed + 1;
-          ignore
-            (Cache.Directory.delete nd.dir ~node:nd.id m.Cache.Meta.key : bool);
+          if not (sharded c) then
+            ignore
+              (Cache.Directory.delete (rdir nd) ~node:nd.id m.Cache.Meta.key
+                : bool);
           if c.cfg.Config.cache_mode = Config.Cooperative then
             send_broadcasts c nd
               [ Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key } ])
@@ -1187,11 +1722,34 @@ let fault c = c.fault
    (the runner does). No-op counters stay absent when hints are off, so
    hint-less runs keep the pre-hint counter set. *)
 let record_hint_stats c =
-  Array.iter
-    (fun nd ->
-      let saved, false_hints = Cache.Directory.hint_stats nd.dir in
-      if saved > 0 then
-        Metrics.Counter.add nd.counters K.hint_probes_saved saved;
-      if false_hints > 0 then
-        Metrics.Counter.add nd.counters K.hint_false false_hints)
-    c.nodes
+  if not (sharded c) then
+    Array.iter
+      (fun nd ->
+        let saved, false_hints = Cache.Directory.hint_stats (rdir nd) in
+        if saved > 0 then
+          Metrics.Counter.add nd.counters K.hint_probes_saved saved;
+        if false_hints > 0 then
+          Metrics.Counter.add nd.counters K.hint_false false_hints)
+      c.nodes
+
+(* Fold the sharded plane's host-side collector statistics (lookup-cache
+   outcomes) into counters. Like [record_hint_stats]: once, after the
+   run; counters stay absent on the replicated plane or when zero. *)
+let record_shard_stats c =
+  if sharded c then
+    Array.iter
+      (fun nd ->
+        match (shard_state nd).MP.Sharded.lcache with
+        | None -> ()
+        | Some lc ->
+            let pos, neg, _misses, evictions = Cache.Lookup_cache.stats lc in
+            if pos > 0 then
+              Metrics.Counter.add nd.counters K.lcache_pos_hits pos;
+            if neg > 0 then
+              Metrics.Counter.add nd.counters K.lcache_neg_hits neg;
+            if evictions > 0 then
+              Metrics.Counter.add nd.counters K.lcache_evictions evictions)
+      c.nodes
+
+let hit_latency c = c.hit_latency
+let forward_wait_histogram c = c.fwd_wait

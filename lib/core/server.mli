@@ -98,7 +98,17 @@ val node : cluster -> int -> t
 
 val node_counters : t -> Metrics.Counter.t
 val node_store : t -> Cache.Store.t
+
+(** [node_directory nd] is the node's full directory replica. Only
+    meaningful under [Config.dir_mode = Replicated]; raises
+    [Invalid_argument] on a sharded node (use {!node_plane} there). *)
 val node_directory : t -> Cache.Directory.t
+
+(** [node_plane nd] is the node's metadata-plane state in either mode —
+    unpack it with [Cache.Metadata_plane.directory]/[shard], or use the
+    mode-agnostic [entries]/[lock_acquisitions] accessors. *)
+val node_plane : t -> Cache.Metadata_plane.t
+
 val node_cpu : t -> Sim.Cpu.t
 
 (** [node_info_mailbox nd] is the mailbox the node's info receiver consumes;
@@ -182,10 +192,62 @@ module K : sig
       missed and the full-scan fallback ran. *)
   val hint_probes_saved : string
   val hint_false : string
+
+  (** Sharded metadata plane. Directory lookups split by how they were
+      answered: [shard_local_lookups] at the key's own home without a
+      message, [shard_replica_hits] from a hotspot-replicated copy, and
+      [shard_fwd_lookups] forwarded to the home over the network.
+      [dir_lookup_msgs]/[dir_lookup_bytes] count the forwarded round
+      trip's wire traffic — requests at the requester, replies at the
+      home — so [info_msgs + dir_lookup_msgs] is the plane's total
+      metadata message count in either mode; [dir_lookup_timeouts] are
+      forwards abandoned because the home was down or partitioned away.
+      [lcache_*] are the lookup cache's outcomes, folded in by
+      {!record_shard_stats}. *)
+  val shard_local_lookups : string
+  val shard_fwd_lookups : string
+  val shard_replica_hits : string
+  val dir_lookup_msgs : string
+  val dir_lookup_bytes : string
+  val dir_lookup_timeouts : string
+  val lcache_pos_hits : string
+  val lcache_neg_hits : string
+  val lcache_evictions : string
+
+  (** Hotspot replication: [hotspot_promotions]/[hotspot_demotions] are
+      decisions taken at shard homes, [hotspot_replica_pushes] the
+      [Promote] unicasts those decisions sent to ring successors. *)
+  val hotspot_promotions : string
+  val hotspot_demotions : string
+  val hotspot_replica_pushes : string
+
+  (** Shard handoff after a crash, restart or partition heal:
+      [shard_handoff_reannounced] entries re-announced to their acting
+      homes, [shard_pruned] entries dropped because the ring moved their
+      home elsewhere. *)
+  val shard_handoff_reannounced : string
+  val shard_pruned : string
 end
 
 (** [record_hint_stats cluster] folds each node's directory hint
     statistics into its counters ({!K.hint_probes_saved}/{!K.hint_false},
     only when nonzero). Call once, after the run, before reading
-    counters; the cluster runner does this. *)
+    counters; the cluster runner does this. No-op on the sharded plane. *)
 val record_hint_stats : cluster -> unit
+
+(** [record_shard_stats cluster] folds each node's lookup-cache outcomes
+    into its counters ({!K.lcache_pos_hits} etc., only when nonzero).
+    Call once, after the run, like {!record_hint_stats}; no-op on the
+    replicated plane. *)
+val record_shard_stats : cluster -> unit
+
+(** [hit_latency cluster] is the sample of cooperative cache-hit service
+    times (seconds from directory-lookup start to response sent), across
+    all nodes and both hit kinds. Collected host-side in every mode; the
+    dirmode ablation's latency metric. *)
+val hit_latency : cluster -> Metrics.Sample.t
+
+(** [forward_wait_histogram cluster] is the distribution of forwarded
+    directory-lookup round-trip waits (sharded plane; timeouts included
+    at their full timeout value). Empty on the replicated plane. *)
+val forward_wait_histogram : cluster -> Metrics.Histogram.t

@@ -19,6 +19,11 @@ let default_bounds =
    the first bucket). *)
 let depth_bounds = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
+let pow2_bounds ?(max_exp = 20) () =
+  if max_exp < 0 then invalid_arg "Histogram.pow2_bounds: max_exp must be >= 0";
+  Array.init (max_exp + 2) (fun i ->
+      if i = 0 then 0. else Float.of_int (1 lsl (i - 1)))
+
 let create ?(bounds = default_bounds) () =
   let n = Array.length bounds in
   if n = 0 then invalid_arg "Histogram.create: empty bounds";

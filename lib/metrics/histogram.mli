@@ -17,6 +17,12 @@ val default_bounds : float array
 (** Powers of two from 0 to 256, for integer queue-depth observations. *)
 val depth_bounds : float array
 
+(** [pow2_bounds ?max_exp ()] is [0, 1, 2, 4, …, 2^max_exp] (default
+    [max_exp = 20], topping out at ~1M) — for wide integer counts such
+    as per-node directory entries in the shard-imbalance histogram.
+    Raises [Invalid_argument] when [max_exp < 0]. *)
+val pow2_bounds : ?max_exp:int -> unit -> float array
+
 (** [create ?bounds ()] with [bounds] strictly increasing and non-empty
     (default {!default_bounds}); the array is copied. *)
 val create : ?bounds:float array -> unit -> t
