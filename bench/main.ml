@@ -640,6 +640,58 @@ let bench_ablation_dirmode () =
     rows;
   emit t
 
+let bench_ablation_scenario () =
+  let rows = Swala.Experiments.ablation_scenario ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A12. Time-varying scenario (flash crowd onto an 8-key \
+         head for the middle of the run + rolling churn, one leave per \
+         ~3 s): replicated vs sharded+hotspot metadata plane, per phase."
+      ~columns:
+        [
+          ("Plane", Metrics.Table.Left);
+          ("Phase", Metrics.Table.Left);
+          ("N", Metrics.Table.Right);
+          ("Mean (s)", Metrics.Table.Right);
+          ("p50 (s)", Metrics.Table.Right);
+          ("p99 (s)", Metrics.Table.Right);
+          ("Hits", Metrics.Table.Right);
+          ("Hit ratio", Metrics.Table.Right);
+          ("Dir msgs", Metrics.Table.Right);
+          ("Crashes", Metrics.Table.Right);
+          ("Redirects", Metrics.Table.Right);
+          ("Lost", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.scenario_row) ->
+      let all = r.Swala.Experiments.phase_sc = "all" in
+      Metrics.Table.add_row t
+        [
+          r.Swala.Experiments.variant_sc;
+          r.Swala.Experiments.phase_sc;
+          Metrics.Table.fmt_i r.Swala.Experiments.n_sc;
+          sec r.Swala.Experiments.mean_sc;
+          sec r.Swala.Experiments.p50_sc;
+          sec r.Swala.Experiments.p99_sc;
+          (if all then Metrics.Table.fmt_i r.Swala.Experiments.hits_sc else "");
+          (if all then
+             Printf.sprintf "%.1f%%"
+               (100. *. r.Swala.Experiments.hit_ratio_sc)
+           else "");
+          (if all then Metrics.Table.fmt_i r.Swala.Experiments.dir_msgs_sc
+           else "");
+          (if all then Metrics.Table.fmt_i r.Swala.Experiments.crashes_sc
+           else "");
+          (if all then Metrics.Table.fmt_i r.Swala.Experiments.redirects_sc
+           else "");
+          (if all then Metrics.Table.fmt_i r.Swala.Experiments.net_lost_sc
+           else "");
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -824,6 +876,7 @@ let all_targets =
     ("ablation-partition", bench_ablation_partition);
     ("ablation-batching", bench_ablation_batching);
     ("ablation-dirmode", bench_ablation_dirmode);
+    ("ablation-scenario", bench_ablation_scenario);
     ("breakdown", bench_breakdown);
     ("micro", run_micro);
   ]

@@ -350,6 +350,176 @@ let metrics_out_t =
           "Write the run's counters, response-time summaries and wait \
            histograms as JSON to FILE.")
 
+(* Time-varying scenario options (see Workload.Scenario). *)
+
+let scenario_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Scenario preset: flash (crowd over the middle of the run), \
+           diurnal (one sinusoidal cycle), geo (metro/regional/far client \
+           tiers), churn (rolling node leave/rejoin; requires \
+           $(b,--fetch-timeout)) or mixed (all four). Explicit \
+           $(b,--flash-crowd)/$(b,--diurnal)/$(b,--geo-tiers)/\
+           $(b,--churn-rate) flags override the preset's choices.")
+
+let scenario_duration_t =
+  Arg.(
+    value & opt float 60.
+    & info [ "scenario-duration" ] ~docv:"SEC"
+        ~doc:
+          "Virtual-time horizon the scenario phases tile; diurnal release \
+           times and preset flash-crowd windows are laid out over it.")
+
+(* AT:DUR:FRACTION:KEYS with an optional trailing :DECAY (defaults to DUR). *)
+let flash_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad flash crowd %S (expected AT:DUR:FRACTION:KEYS[:DECAY])" s))
+    in
+    match String.split_on_char ':' s with
+    | [ at; dur; frac; keys ] | [ at; dur; frac; keys; _ ] as fields -> (
+        let decay =
+          match fields with [ _; _; _; _; d ] -> float_of_string_opt d | _ -> None
+        in
+        match
+          ( float_of_string_opt at,
+            float_of_string_opt dur,
+            float_of_string_opt frac,
+            int_of_string_opt keys )
+        with
+        | Some at, Some duration, Some fraction, Some keys -> (
+            try
+              Ok
+                (Workload.Scenario.flash_crowd ~at ~duration ?decay ~fraction
+                   ~keys ())
+            with Invalid_argument m -> Error (`Msg m))
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf (f : Workload.Scenario.flash_crowd) =
+    Format.fprintf ppf "%g:%g:%g:%d:%g" f.Workload.Scenario.fc_at
+      f.Workload.Scenario.fc_duration f.Workload.Scenario.fc_fraction
+      f.Workload.Scenario.fc_keys f.Workload.Scenario.fc_decay
+  in
+  Arg.conv (parse, print)
+
+let flash_crowd_t =
+  Arg.(
+    value
+    & opt (some flash_conv) None
+    & info [ "flash-crowd" ] ~docv:"SPEC"
+        ~doc:
+          "Flash crowd, as AT:DUR:FRACTION:KEYS[:DECAY] (e.g. \
+           10:20:0.8:8 re-points 80% of CGI traffic onto an 8-key Zipf \
+           head between t=10 s and t=30 s, then decays linearly back to \
+           baseline over another 20 s).")
+
+(* PERIOD:TROUGH sinusoidal envelope. *)
+let diurnal_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ period; trough ] -> (
+        match (float_of_string_opt period, float_of_string_opt trough) with
+        | Some period, Some trough ->
+            Ok (Workload.Scenario.Sinusoid { period; trough })
+        | _ -> Error (`Msg (Printf.sprintf "bad diurnal %S" s)))
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "bad diurnal %S (expected PERIOD:TROUGH)" s))
+  in
+  let print ppf = function
+    | Workload.Scenario.Sinusoid { period; trough } ->
+        Format.fprintf ppf "%g:%g" period trough
+    | Workload.Scenario.Piecewise _ -> Format.pp_print_string ppf "piecewise"
+  in
+  Arg.conv (parse, print)
+
+let diurnal_t =
+  Arg.(
+    value
+    & opt (some diurnal_conv) None
+    & info [ "diurnal" ] ~docv:"SPEC"
+        ~doc:
+          "Sinusoidal arrival-rate envelope, as PERIOD:TROUGH (e.g. 60:0.2 \
+           cycles once per 60 s between full rate mid-period and 20% rate \
+           at the period edges). Release times are the envelope's \
+           quantiles, so the trace's request count is preserved exactly.")
+
+(* NAME:RTT:WEIGHT,NAME:RTT:WEIGHT geo tiers. *)
+let geo_conv =
+  let parse s =
+    try
+      let tiers =
+        List.map
+          (fun spec ->
+            match String.split_on_char ':' (String.trim spec) with
+            | [ name; rtt; weight ] -> (
+                match (float_of_string_opt rtt, float_of_string_opt weight) with
+                | Some rtt, Some weight ->
+                    Workload.Scenario.tier ~name:(String.trim name) ~rtt ~weight
+                | _ -> raise Exit)
+            | _ -> raise Exit)
+          (String.split_on_char ',' s)
+      in
+      if tiers = [] then raise Exit else Ok tiers
+    with Exit ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad geo tiers %S (expected NAME:RTT:WEIGHT,NAME:RTT:WEIGHT,...)"
+              s))
+  in
+  let print ppf tiers =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map
+            (fun (t : Workload.Scenario.tier) ->
+              Printf.sprintf "%s:%g:%g" t.Workload.Scenario.tier_name
+                t.Workload.Scenario.rtt t.Workload.Scenario.weight)
+            tiers))
+  in
+  Arg.conv (parse, print)
+
+let geo_tiers_t =
+  Arg.(
+    value
+    & opt (some geo_conv) None
+    & info [ "geo-tiers" ] ~docv:"SPEC"
+        ~doc:
+          "Geo-tiered client classes, as NAME:RTT:WEIGHT,... (e.g. \
+           metro:0.002:6,regional:0.03:3,far:0.12:1). Client streams are \
+           cut into contiguous runs proportional to the weights; each \
+           tier's links gain RTT/2 one-way latency, and responses are \
+           reported per tier.")
+
+let churn_rate_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "churn-rate" ] ~docv:"RATE"
+        ~doc:
+          "Rolling membership churn: node leave events per second, dealt \
+           round-robin over the cluster (requires $(b,--fetch-timeout)). \
+           Composes with $(b,--crash-mtbf) and $(b,--partition).")
+
+let churn_downtime_t =
+  Arg.(
+    value & opt float 2.
+    & info [ "churn-downtime" ] ~docv:"SEC"
+        ~doc:"(Mean) downtime of each churn leave.")
+
+let churn_fixed_t =
+  Arg.(
+    value & flag
+    & info [ "churn-fixed" ]
+        ~doc:
+          "Make churn strictly periodic (fixed gaps and downtimes) \
+           instead of Poisson.")
+
 let trace_of_workload ~workload ~seed ~requests =
   match workload with
   | "adl" -> Ok (Workload.Synthetic.adl_scaled ~seed ~n:requests)
@@ -364,13 +534,82 @@ let trace_of_workload ~workload ~seed ~requests =
 (* ------------------------------------------------------------------ *)
 (* run *)
 
+(* Resolve a --scenario preset plus explicit overlay flags into the
+   scenario overlays and churn spec (explicit flags win over the preset). *)
+let resolve_scenario ~preset ~duration ~flash ~diurnal ~geo ~churn_rate
+    ~churn_downtime ~churn_fixed =
+  let module S = Workload.Scenario in
+  let preset_flash, preset_diurnal, preset_geo, preset_churn =
+    match preset with
+    | None -> (None, None, None, None)
+    | Some "flash" ->
+        ( Some
+            (S.flash_crowd ~at:(duration /. 4.) ~duration:(duration /. 4.) ()),
+          None,
+          None,
+          None )
+    | Some "diurnal" ->
+        (None, Some (S.Sinusoid { period = duration; trough = 0.2 }), None, None)
+    | Some "geo" ->
+        ( None,
+          None,
+          Some
+            [
+              S.tier ~name:"metro" ~rtt:0.002 ~weight:6.;
+              S.tier ~name:"regional" ~rtt:0.03 ~weight:3.;
+              S.tier ~name:"far" ~rtt:0.12 ~weight:1.;
+            ],
+          None )
+    | Some "churn" -> (None, None, None, Some 0.2)
+    | Some "mixed" ->
+        ( Some
+            (S.flash_crowd ~at:(duration /. 4.) ~duration:(duration /. 4.) ()),
+          Some (S.Sinusoid { period = duration; trough = 0.2 }),
+          Some
+            [
+              S.tier ~name:"metro" ~rtt:0.002 ~weight:6.;
+              S.tier ~name:"regional" ~rtt:0.03 ~weight:3.;
+              S.tier ~name:"far" ~rtt:0.12 ~weight:1.;
+            ],
+          Some 0.2 )
+    | Some other ->
+        prerr_endline
+          (Printf.sprintf
+             "unknown scenario %S (expected flash, diurnal, geo, churn or \
+              mixed)"
+             other);
+        exit 2
+  in
+  let first a b = match a with Some _ -> a | None -> b in
+  let flash = first flash preset_flash in
+  let diurnal = first diurnal preset_diurnal in
+  let geo = first geo preset_geo in
+  let churn_rate = first churn_rate preset_churn in
+  let scenario =
+    if flash = None && diurnal = None && geo = None then None
+    else
+      Some
+        (S.make ~duration ?flash ?diurnal
+           ?tiers:(Option.map (fun t -> t) geo)
+           ())
+  in
+  let churn =
+    Option.map
+      (fun rate ->
+        Sim.Fault.churn ~rate ~downtime:churn_downtime
+          ~poisson:(not churn_fixed) ())
+      churn_rate
+  in
+  (scenario, churn)
+
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
     fetch_backoff batch_flush_interval batch_max dir_hints dir_mode
     shard_vnodes shard_lookup_cache shard_pos_ttl shard_neg_ttl
-    hotspot_threshold hotspot_window hotspot_replicas trace_file
-    trace_breakdown metrics_out =
+    hotspot_threshold hotspot_window hotspot_replicas scenario_name
+    scenario_duration flash_crowd diurnal geo_tiers churn_rate churn_downtime
+    churn_fixed trace_file trace_breakdown metrics_out =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -386,10 +625,19 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                 Printf.eprintf "%s: %s\n" path e;
                 exit 2)
       in
+      let scenario, churn =
+        try
+          resolve_scenario ~preset:scenario_name ~duration:scenario_duration
+            ~flash:flash_crowd ~diurnal ~geo:geo_tiers ~churn_rate
+            ~churn_downtime ~churn_fixed
+        with Invalid_argument msg ->
+          prerr_endline msg;
+          exit 2
+      in
       let fault =
         if
           drop_rate = 0. && delay_rate = 0. && crash_mtbf = None
-          && partitions = []
+          && partitions = [] && churn = None
         then None
         else
           Some
@@ -398,7 +646,7 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                  (Option.map
                     (fun mtbf -> { Sim.Fault.mtbf; mttr = crash_mttr })
                     crash_mtbf)
-               ~partitions ~horizon:fault_horizon ())
+               ~partitions ?churn ~horizon:fault_horizon ())
       in
       let cfg =
         Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
@@ -406,7 +654,7 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
           ~fetch_backoff ~anti_entropy_period ~batch_max
           ~batch_flush_interval ~dir_hints ~dir_mode ~shard_vnodes
           ~shard_lookup_cache ~shard_pos_ttl ~shard_neg_ttl
-          ~hotspot_threshold ~hotspot_window ~hotspot_replicas
+          ~hotspot_threshold ~hotspot_window ~hotspot_replicas ~scenario
           ~trace:(trace_file <> None || trace_breakdown)
           ~seed ()
       in
@@ -445,6 +693,21 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
             (fun (p : Sim.Fault.partition) ->
               Printf.printf "  partition               %s\n" p.Sim.Fault.pname)
             partitions);
+      (match churn with
+      | None -> ()
+      | Some (c : Sim.Fault.churn) ->
+          Printf.printf
+            "rolling churn             %.3g leaves/s, downtime %.1fs (%s)\n"
+            c.Sim.Fault.churn_rate c.Sim.Fault.churn_downtime
+            (if c.Sim.Fault.churn_poisson then "poisson" else "fixed-period"));
+      (match scenario with
+      | None -> ()
+      | Some sc ->
+          Printf.printf "scenario phases           %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (name, a, b) -> Printf.sprintf "%s[%g,%g)" name a b)
+                  (Workload.Scenario.phases sc))));
       Printf.printf "simulated makespan        %.2f s\n"
         result.Swala.Cluster_runner.duration;
       Printf.printf "mean response time        %.4f s\n"
@@ -512,7 +775,9 @@ let run_cmd =
       $ fetch_retries_t $ fetch_backoff_t $ batch_flush_t $ batch_max_t
       $ dir_hints_t $ dir_mode_t $ shard_vnodes_t $ shard_lookup_cache_t
       $ shard_pos_ttl_t $ shard_neg_ttl_t $ hotspot_threshold_t
-      $ hotspot_window_t $ hotspot_replicas_t $ trace_file_t
+      $ hotspot_window_t $ hotspot_replicas_t $ scenario_t
+      $ scenario_duration_t $ flash_crowd_t $ diurnal_t $ geo_tiers_t
+      $ churn_rate_t $ churn_downtime_t $ churn_fixed_t $ trace_file_t
       $ trace_breakdown_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
@@ -577,6 +842,8 @@ let list_cmd =
               "  ablation-batching     directory-update batching: flush x nodes";
               "  ablation-dirmode      metadata plane: replicated vs batched vs \
                sharded (+hotspot)";
+              "  ablation-scenario     flash crowd + rolling churn: replicated \
+               vs sharded, per phase";
               "  breakdown             traced replay: latency breakdown + \
                contention histograms";
               "  micro                 Bechamel micro-benchmarks + wall-clock \

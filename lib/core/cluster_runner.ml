@@ -21,9 +21,16 @@ type result = {
   n_events : int;
   tracer : Metrics.Trace.t option;
   wait_histograms : (string * Metrics.Histogram.t) list;
+  tier_response : (string * Metrics.Sample.t) list;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
+
+(* Scenario draws (flash-crowd redirects) come from their own salted root,
+   like the fault and anti-entropy planes: enabling a scenario never
+   perturbs the workload, CPU, cache or fault streams, and a run without
+   one creates no generator at all. *)
+let scenario_seed_salt = 0x5CE7A810
 
 (* Split the trace round-robin over the streams, preserving order. *)
 let split_streams trace n_streams =
@@ -36,9 +43,50 @@ let split_streams trace n_streams =
 let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.n_nodes)
     ?router ?(observe = fun ~time:_ _ -> ()) ~registry () =
   if n_streams < 1 then invalid_arg "Cluster_runner.run: n_streams must be >= 1";
+  let scenario = cfg.Config.scenario in
+  (* Scenario state, all created only when one is configured. Per-stream
+     generators are split from the salted root in stream order, so a
+     stream's redirect draws are independent of interleaving. *)
+  let scenario_rngs =
+    match scenario with
+    | None -> [||]
+    | Some _ ->
+        let root = Sim.Rng.create (cfg.Config.seed lxor scenario_seed_salt) in
+        Array.init n_streams (fun _ -> Sim.Rng.split root)
+  in
+  let arrivals =
+    match scenario with
+    | None -> [||]
+    | Some sc ->
+        Workload.Scenario.arrival_times sc ~n:(Workload.Trace.length trace)
+  in
+  let tiers =
+    match scenario with None -> [||] | Some sc -> Workload.Scenario.tiers sc
+  in
+  let tier_of_stream =
+    match scenario with
+    | Some sc when Array.length tiers > 0 ->
+        Array.init n_streams (fun stream ->
+            Workload.Scenario.tier_of_stream sc ~n_streams ~stream)
+    | Some _ | None -> [||]
+  in
+  let client_extra_latency =
+    match scenario with
+    | Some sc when Array.length tiers > 0 ->
+        Some
+          (Array.map
+             (fun t -> Workload.Scenario.tier_extra_latency sc t)
+             tier_of_stream)
+    | Some _ | None -> None
+  in
+  let tier_samples =
+    Array.map (fun _ -> Metrics.Sample.create ()) tiers
+  in
+  let flash_redirects = ref 0 in
   let engine = Sim.Engine.create () in
   let cluster =
-    Server.create_cluster engine cfg ~registry ~n_client_endpoints:n_streams
+    Server.create_cluster engine cfg ~registry ?client_extra_latency
+      ~n_client_endpoints:n_streams
   in
   let router = Option.map Router.create router in
   let tracer = Server.tracer cluster in
@@ -58,8 +106,35 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
           let client = cfg.Config.n_nodes + s in
           let pinned = assign s in
           Sim.Engine.spawn_child (fun () ->
-              List.iter
-                (fun item ->
+              List.iteri
+                (fun p item ->
+                  (* Diurnal pacing: hold the p-th item of this stream
+                     until its envelope release time (global trace index
+                     p * n_streams + s — the inverse of [split_streams]).
+                     A stream running behind its envelope just stays
+                     closed-loop. *)
+                  (if Array.length arrivals > 0 then
+                     let g = (p * n_streams) + s in
+                     if g < Array.length arrivals then begin
+                       let release = arrivals.(g) in
+                       let now = Sim.Engine.now () in
+                       if release > now then Sim.Engine.delay (release -. now)
+                     end);
+                  (* Flash crowd: re-point this item onto the crowd head
+                     with the intensity at (post-pacing) virtual now. *)
+                  let item =
+                    match scenario with
+                    | None -> item
+                    | Some sc -> (
+                        match
+                          Workload.Scenario.rewrite sc ~rng:scenario_rngs.(s)
+                            ~now:(Sim.Engine.now ()) item
+                        with
+                        | Some item' ->
+                            incr flash_redirects;
+                            item'
+                        | None -> item)
+                  in
                   let req = Workload.Trace.to_request item in
                   let t0 = Sim.Engine.now () in
                   (* Each client request roots its own span tree; the id
@@ -99,6 +174,8 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
                   let dt = Sim.Engine.now () -. t0 in
                   Metrics.Sample.add response dt;
                   observe ~time:(Sim.Engine.now ()) dt;
+                  if Array.length tier_of_stream > 0 then
+                    Metrics.Sample.add tier_samples.(tier_of_stream.(s)) dt;
                   if Workload.Trace.is_cgi item then
                     Metrics.Sample.add cgi_response dt
                   else Metrics.Sample.add file_response dt)
@@ -141,6 +218,20 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
   (match router with
   | Some r when Router.retries r > 0 ->
       Metrics.Counter.add counters Server.K.router_retries (Router.retries r)
+  | Some _ | None -> ());
+  (* Scenario counters are client-side too: flash redirects and per-tier
+     request counts, absent when zero/unconfigured so scenario-free runs
+     keep their counter sets unchanged. *)
+  if !flash_redirects > 0 then
+    Metrics.Counter.add counters "scenario_flash_redirects" !flash_redirects;
+  (match scenario with
+  | Some sc when Array.length tiers > 0 ->
+      Array.iteri
+        (fun i sample ->
+          Metrics.Counter.add counters
+            ("tier_" ^ Workload.Scenario.tier_name sc i ^ "_requests")
+            (Metrics.Sample.count sample))
+        tier_samples
   | Some _ | None -> ());
   let hits = Server.total_hits cluster in
   let n_cgi =
@@ -195,6 +286,14 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
     n_events = Sim.Engine.events_processed engine;
     tracer;
     wait_histograms = Server.wait_histograms cluster;
+    tier_response =
+      (match scenario with
+      | Some sc when Array.length tiers > 0 ->
+          Array.to_list
+            (Array.mapi
+               (fun i sample -> (Workload.Scenario.tier_name sc i, sample))
+               tier_samples)
+      | Some _ | None -> []);
   }
 
 (* JSON rendering of a run's metrics (the [--metrics-out] payload, also
@@ -239,8 +338,8 @@ let result_to_json r =
   let rd, wr = r.dir_locks in
   J.to_string
     (J.Obj
-       [
-         ("duration_s", J.Float r.duration);
+       ([
+          ("duration_s", J.Float r.duration);
          ("n_requests", J.Int r.n_requests);
          ("n_events", J.Int r.n_events);
          ("hits", J.Int r.hits);
@@ -271,7 +370,17 @@ let result_to_json r =
            J.Obj
              (List.map (fun (name, h) -> (name, histogram_json h))
                 r.wait_histograms) );
-       ])
+       ]
+    @
+    (* Per-tier response summaries only appear on geo-tiered runs, keeping
+       the scenario-free payload identical. *)
+    match r.tier_response with
+    | [] -> []
+    | tiers ->
+        [
+          ( "tier_response_s",
+            J.Obj (List.map (fun (name, s) -> (name, sample_json s)) tiers) );
+        ]))
 
 let default_registry trace =
   let registry = Cgi.Registry.create () in

@@ -52,6 +52,9 @@ type result = {
   wait_histograms : (string * Metrics.Histogram.t) list;
       (** cluster-wide contention histograms (see
           {!Server.wait_histograms}); empty when tracing is off *)
+  tier_response : (string * Metrics.Sample.t) list;
+      (** per-tier client response times on geo-tiered scenario runs
+          ([cfg.scenario] with tiers), in tier order; empty otherwise *)
 }
 
 val mean_response : result -> float
@@ -73,7 +76,17 @@ val result_to_json : result -> string
 
     [observe] is called after every completed request with the completion
     time (simulated) and the response time — hook a [Metrics.Timeseries]
-    in to study transients such as cache warm-up.
+    in to study transients such as cache warm-up (or bucket latencies per
+    scenario phase).
+
+    When [cfg.scenario] is set, the replay applies its overlays: items are
+    held until their diurnal release times, flash-crowd redirection
+    rewrites CGI items at submit time (counted in the
+    ["scenario_flash_redirects"] counter), and geo tiers put extra latency
+    on client links and split response times per tier
+    (["tier_<name>_requests"] counters, [tier_response] samples). All
+    scenario randomness comes from a dedicated salted root, so a run
+    without a scenario is byte-identical to earlier builds.
 
     The run is deterministic given [cfg.seed] and the trace. *)
 val run :

@@ -104,6 +104,7 @@ type t = {
   hotspot_window : float;
   hotspot_replicas : int;
   fs_cache_hit : float;
+  scenario : Workload.Scenario.t option;
   trace : bool;
   seed : int;
 }
@@ -152,6 +153,7 @@ let default =
     hotspot_window = 2.0;
     hotspot_replicas = 2;
     fs_cache_hit = 0.95;
+    scenario = None;
     trace = false;
     seed = 42;
   }
@@ -190,8 +192,8 @@ let make ?(n_nodes = default.n_nodes)
     ?(hotspot_threshold = default.hotspot_threshold)
     ?(hotspot_window = default.hotspot_window)
     ?(hotspot_replicas = default.hotspot_replicas)
-    ?(fs_cache_hit = default.fs_cache_hit) ?(trace = default.trace)
-    ?(seed = default.seed) () =
+    ?(fs_cache_hit = default.fs_cache_hit) ?(scenario = default.scenario)
+    ?(trace = default.trace) ?(seed = default.seed) () =
   {
     n_nodes;
     threads_per_node;
@@ -235,6 +237,7 @@ let make ?(n_nodes = default.n_nodes)
     hotspot_window;
     hotspot_replicas;
     fs_cache_hit;
+    scenario;
     trace;
     seed;
   }
@@ -266,6 +269,9 @@ let validate t =
   check (t.fetch_retries >= 0) "fetch_retries must be >= 0";
   check (t.fetch_backoff >= 1.) "fetch_backoff must be >= 1";
   (match t.fault with Some p -> Sim.Fault.validate p | None -> ());
+  (match t.scenario with
+  | Some sc -> Workload.Scenario.validate sc
+  | None -> ());
   let lossy =
     t.net_loss > 0.
     || match t.fault with Some p -> Sim.Fault.is_lossy p | None -> false

@@ -171,6 +171,15 @@ type t = {
       (** extra replica owners a promoted key's directory entry is pushed
           to (the k distinct ring successors of the home). Default 2 *)
   fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
+  scenario : Workload.Scenario.t option;
+      (** time-varying workload scenario (flash crowd, diurnal envelope,
+          geo-tiered clients) the runner overlays on the replayed trace.
+          [None] (the default) leaves the replay untouched — no scenario
+          random numbers are drawn, no release-time pacing, no rewritten
+          items, no per-tier latency — byte-identical to builds without
+          the scenario layer. Rolling membership churn is configured on
+          the {!Sim.Fault.profile} ([fault]) instead, since it is a
+          membership fault, not a traffic shape *)
   trace : bool;
       (** record causal request spans and lock-wait histograms. Default
           [false]; tracing is observation-only, so every simulated
@@ -227,6 +236,7 @@ val make :
   ?hotspot_window:float ->
   ?hotspot_replicas:int ->
   ?fs_cache_hit:float ->
+  ?scenario:Workload.Scenario.t option ->
   ?trace:bool ->
   ?seed:int ->
   unit ->

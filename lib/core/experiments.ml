@@ -845,3 +845,116 @@ let ablation_dirmode ?(seed = default_seed)
           })
         variants)
     node_counts
+
+(* ------------------------------------------------------------------ *)
+(* A12 — time-varying scenario: flash crowd + rolling churn *)
+
+type scenario_row = {
+  variant_sc : string;
+  phase_sc : string;  (* "all" carries run-wide counters, then one row per phase *)
+  n_sc : int;  (* responses completing inside the phase *)
+  mean_sc : float;
+  p50_sc : float;
+  p99_sc : float;
+  hits_sc : int;  (* run-wide fields below: populated on the "all" row only *)
+  hit_ratio_sc : float;
+  dir_msgs_sc : int;
+  crashes_sc : int;
+  redirects_sc : int;
+  net_lost_sc : int;
+}
+
+let ablation_scenario ?(seed = default_seed) ?(n_nodes = 8)
+    ?(n_requests = 4000) () =
+  (* The regime PR 5's sharded plane was built for, applied as one run:
+     a hot-headed coop mix whose middle third is hit by a flash crowd
+     (80 % of CGI traffic onto an 8-key Zipf head) while the cluster
+     rides rolling churn (one leave every ~3 s, 1.5 s down). Replicated
+     keeps broadcasting every insert to n-1 peers through the turbulence;
+     sharded+hotspot unicasts to homes, promotes the crowd head, and
+     re-announces across each handoff. Per-phase latency rows come from
+     bucketing completions by the scenario's phase schedule. *)
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:n_requests
+      ~n_unique:(Stdlib.max 1 (n_requests / 4))
+      ~n_hot:24 ~zipf_s:1.1 ~demand:0.02 ()
+  in
+  let scenario =
+    Workload.Scenario.make ~duration:12.
+      ~flash:
+        (Workload.Scenario.flash_crowd ~at:3. ~duration:3. ~decay:3.
+           ~fraction:0.8 ~keys:8 ~zipf_s:1.0 ~demand:0.02 ())
+      ()
+  in
+  let churn = Sim.Fault.churn ~rate:0.3 ~downtime:1.5 ~poisson:true () in
+  let fault = Sim.Fault.make ~churn ~horizon:120. () in
+  let variants = [ "replicated"; "sharded+hotspot" ] in
+  List.concat_map
+    (fun variant ->
+      let cfg =
+        match variant with
+        | "replicated" ->
+            Config.make ~n_nodes ~cache_mode:Config.Cooperative
+              ~cache_threshold:0.001 ~scenario:(Some scenario)
+              ~fault:(Some fault) ~fetch_timeout:(Some 0.25) ~fetch_retries:1
+              ~seed ()
+        | "sharded+hotspot" ->
+            Config.make ~n_nodes ~cache_mode:Config.Cooperative
+              ~cache_threshold:0.001 ~dir_mode:Config.Sharded
+              ~hotspot_threshold:1.0 ~hotspot_window:2.0 ~hotspot_replicas:3
+              ~scenario:(Some scenario) ~fault:(Some fault)
+              ~fetch_timeout:(Some 0.25) ~fetch_retries:1 ~seed ()
+        | _ -> assert false
+      in
+      let phases = Workload.Scenario.phases scenario in
+      let phase_samples =
+        List.map (fun (name, _, _) -> (name, Metrics.Sample.create ())) phases
+      in
+      let observe ~time dt =
+        let name = Workload.Scenario.phase_of scenario ~now:time in
+        Metrics.Sample.add (List.assoc name phase_samples) dt
+      in
+      let r =
+        Cluster_runner.run cfg ~trace ~n_streams:(4 * n_nodes)
+          ~router:Router.Per_stream ~observe ()
+      in
+      let get = Metrics.Counter.get r.Cluster_runner.counters in
+      let q s p = match Metrics.Sample.quantile_opt s p with
+        | Some v -> v
+        | None -> 0.
+      in
+      let all_row =
+        {
+          variant_sc = variant;
+          phase_sc = "all";
+          n_sc = Metrics.Sample.count r.Cluster_runner.response;
+          mean_sc = Cluster_runner.mean_response r;
+          p50_sc = q r.Cluster_runner.response 0.5;
+          p99_sc = q r.Cluster_runner.response 0.99;
+          hits_sc = r.Cluster_runner.hits;
+          hit_ratio_sc = r.Cluster_runner.hit_ratio;
+          dir_msgs_sc = get Server.K.info_msgs + get Server.K.dir_lookup_msgs;
+          crashes_sc = get Server.K.crashes;
+          redirects_sc = get "scenario_flash_redirects";
+          net_lost_sc = r.Cluster_runner.net_lost;
+        }
+      in
+      all_row
+      :: List.map
+           (fun (name, sample) ->
+             {
+               variant_sc = variant;
+               phase_sc = name;
+               n_sc = Metrics.Sample.count sample;
+               mean_sc = Metrics.Sample.mean sample;
+               p50_sc = q sample 0.5;
+               p99_sc = q sample 0.99;
+               hits_sc = 0;
+               hit_ratio_sc = 0.;
+               dir_msgs_sc = 0;
+               crashes_sc = 0;
+               redirects_sc = 0;
+               net_lost_sc = 0;
+             })
+           phase_samples)
+    variants

@@ -333,3 +333,36 @@ type dirmode_row = {
 val ablation_dirmode :
   ?seed:int -> ?node_counts:int list -> ?n_requests:int ->
   unit -> dirmode_row list
+
+(** {1 A12 — time-varying scenario: flash crowd + rolling churn} *)
+
+(** One row of {!ablation_scenario}. Each variant contributes an ["all"]
+    row carrying the run-wide counters (hits, metadata messages, crashes,
+    flash redirects, lost messages) followed by one row per scenario phase
+    (["pre"], ["crowd"], ["decay"], ["post"]) whose latency statistics
+    cover only the responses completing inside that phase; the run-wide
+    fields are zero on phase rows. *)
+type scenario_row = {
+  variant_sc : string;  (** ["replicated"] or ["sharded+hotspot"] *)
+  phase_sc : string;
+  n_sc : int;
+  mean_sc : float;
+  p50_sc : float;
+  p99_sc : float;
+  hits_sc : int;
+  hit_ratio_sc : float;
+  dir_msgs_sc : int;  (** info unicasts + forwarded lookup messages *)
+  crashes_sc : int;
+  redirects_sc : int;  (** CGI items rewritten onto the crowd head *)
+  net_lost_sc : int;
+}
+
+(** [ablation_scenario ()] replays one hot-headed cooperative mix through
+    both metadata planes while a flash crowd (80 % of CGI traffic onto an
+    8-key head for the middle of the run, with linear decay) and rolling
+    churn (one node leave every ~3 s, 1.5 s downtime) are active — the
+    §A12 experiment: does the sharded plane's unicast + hotspot machinery
+    keep paying off when the workload and the membership both move?
+    Returns rows per variant and phase; see {!scenario_row}. *)
+val ablation_scenario :
+  ?seed:int -> ?n_nodes:int -> ?n_requests:int -> unit -> scenario_row list

@@ -195,7 +195,8 @@ let fault_seed_salt = 0x5DEECE66
    does not perturb workload, CPU or cache streams. *)
 let anti_entropy_seed_salt = 0x0A17E57
 
-let create_cluster engine cfg ~registry ~n_client_endpoints =
+let create_cluster ?client_extra_latency engine cfg ~registry
+    ~n_client_endpoints =
   Config.validate cfg;
   let module H = Metrics.Histogram in
   let tracer =
@@ -266,8 +267,18 @@ let create_cluster engine cfg ~registry ~n_client_endpoints =
            ~vnodes:cfg.Config.shard_vnodes)
     else None
   in
+  (* Geo-tiered clients: extra one-way latency on client endpoints only
+     (endpoint n_nodes + s is client stream s); the cluster LAN keeps the
+     base latency. Absent, the network path is byte-identical to before. *)
+  let extra_latency =
+    Option.map
+      (fun arr ep ->
+        let s = ep - cfg.Config.n_nodes in
+        if s >= 0 && s < Array.length arr then arr.(s) else 0.)
+      client_extra_latency
+  in
   let net =
-    Sim.Net.create ~latency:cfg.Config.net_latency
+    Sim.Net.create ~latency:cfg.Config.net_latency ?extra_latency
       ~bandwidth:cfg.Config.net_bandwidth ~loss:cfg.Config.net_loss
       ~rng:(Sim.Rng.split root) ?fault engine
       ~n_endpoints:(cfg.Config.n_nodes + n_client_endpoints)

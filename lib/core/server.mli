@@ -22,8 +22,15 @@ type cluster
 
 (** [create_cluster engine cfg ~registry ~n_client_endpoints] builds the
     nodes, network (endpoints [0 .. n_nodes-1] are nodes, the rest client
-    endpoints) and per-node state. Call {!start} before submitting. *)
+    endpoints) and per-node state. Call {!start} before submitting.
+
+    [client_extra_latency], when given, maps client stream [s] (endpoint
+    [n_nodes + s]) to extra one-way link latency — geo-tiered client
+    populations (see {!Workload.Scenario}). Node endpoints always keep the
+    base LAN latency; omitted, the network is exactly the pre-scenario
+    one. *)
 val create_cluster :
+  ?client_extra_latency:float array ->
   Sim.Engine.t ->
   Config.t ->
   registry:Cgi.Registry.t ->

@@ -12,12 +12,28 @@ type partition = {
   heal_at : float;
 }
 
+type churn = {
+  churn_rate : float;
+  churn_downtime : float;
+  churn_poisson : bool;
+  churn_start : float;
+}
+
+let churn ?(rate = 0.1) ?(downtime = 2.0) ?(poisson = true) ?(start = 0.) () =
+  {
+    churn_rate = rate;
+    churn_downtime = downtime;
+    churn_poisson = poisson;
+    churn_start = start;
+  }
+
 type profile = {
   link : link_profile;
   link_overrides : ((int * int) * link_profile) list;
   node : node_profile option;
   node_schedules : (int * schedule) list;
   partitions : partition list;
+  churn : churn option;
   horizon : float;
 }
 
@@ -28,13 +44,15 @@ let none =
     node = None;
     node_schedules = [];
     partitions = [];
+    churn = None;
     horizon = 3600.;
   }
 
 let make ?(drop = 0.) ?(delay = 0.) ?(delay_mean = 0.) ?(link_overrides = [])
-    ?node ?(node_schedules = []) ?(partitions = []) ?(horizon = 3600.) () =
+    ?node ?(node_schedules = []) ?(partitions = []) ?churn ?(horizon = 3600.)
+    () =
   { link = { drop; delay; delay_mean }; link_overrides; node; node_schedules;
-    partitions; horizon }
+    partitions; churn; horizon }
 
 let is_lossy p =
   let lossy_link (l : link_profile) = l.drop > 0. in
@@ -43,6 +61,7 @@ let is_lossy p =
   || p.node <> None
   || List.exists (fun (_, s) -> s <> []) p.node_schedules
   || p.partitions <> []
+  || p.churn <> None
 
 let validate p =
   let check cond msg = if not cond then invalid_arg ("Fault: " ^ msg) in
@@ -93,6 +112,12 @@ let validate p =
             group)
         part.groups)
     p.partitions;
+  (match p.churn with
+  | Some c ->
+      check (c.churn_rate > 0.) "churn rate must be positive";
+      check (c.churn_downtime > 0.) "churn downtime must be positive";
+      check (c.churn_start >= 0.) "churn start must be >= 0"
+  | None -> ());
   check (p.horizon > 0.) "horizon must be positive"
 
 type action = Deliver | Drop | Delay of float
@@ -125,6 +150,49 @@ let gen_schedule rng (np : node_profile) ~horizon =
   in
   go 0. []
 
+(* Union of two well-formed interval lists, coalescing overlapping or
+   touching intervals (a crash instant coinciding with a restart instant
+   would race in the event queue). *)
+let merge_schedule a b =
+  let all = List.sort compare (a @ b) in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (d, u) :: rest -> (
+        match acc with
+        | (pd, pu) :: acc' when d <= pu ->
+            go ((pd, Stdlib.max pu u) :: acc') rest
+        | _ -> go ((d, u) :: acc) rest)
+  in
+  go [] all
+
+(* Rolling churn: one cluster-wide leave stream at [churn_rate] events/s
+   (exponential gaps when [churn_poisson], a fixed period otherwise),
+   dealt round-robin over the nodes so membership keeps turning over
+   instead of crashing in bursts. Downtimes follow the same law with mean
+   [churn_downtime]. A node whose previous downtime is still running when
+   its next leave arrives goes down again the instant it comes back. *)
+let gen_churn rng (c : churn) ~nodes ~horizon =
+  let rev = Array.make nodes [] in
+  if nodes > 0 then begin
+    let last_up = Array.make nodes 0. in
+    let draw mean =
+      if c.churn_poisson then Dist.exponential rng ~mean else mean
+    in
+    let rec go k t =
+      let t = t +. draw (1. /. c.churn_rate) in
+      if t < horizon then begin
+        let node = k mod nodes in
+        let down_at = Stdlib.max t last_up.(node) in
+        let up_at = down_at +. draw c.churn_downtime in
+        rev.(node) <- (down_at, up_at) :: rev.(node);
+        last_up.(node) <- up_at;
+        go (k + 1) t
+      end
+    in
+    go 0 c.churn_start
+  end;
+  Array.map List.rev rev
+
 let create p ~rng ~nodes =
   validate p;
   if nodes < 0 then invalid_arg "Fault.create: nodes must be >= 0";
@@ -140,6 +208,18 @@ let create p ~rng ~nodes =
             | Some np -> gen_schedule node_rng np ~horizon:p.horizon
             | None -> []))
   in
+  (* The churn generator splits only when churn is configured, after the
+     per-node splits: a churn-free profile draws exactly as before. *)
+  (match p.churn with
+  | None -> ()
+  | Some c ->
+      let churn_rng = Rng.split rng in
+      let churn_scheds = gen_churn churn_rng c ~nodes ~horizon:p.horizon in
+      Array.iteri
+        (fun node extra ->
+          if extra <> [] then
+            schedules.(node) <- merge_schedule schedules.(node) extra)
+        churn_scheds);
   let overrides = Hashtbl.create 16 in
   List.iter
     (fun (linkpair, lp) -> Hashtbl.replace overrides linkpair lp)

@@ -58,6 +58,34 @@ type partition = {
   heal_at : float;  (** the split heals (s), [> cut_at] *)
 }
 
+(** Rolling membership churn: a sustained cluster-wide stream of
+    leave/rejoin events at [churn_rate] events per second, dealt
+    round-robin over the nodes so membership keeps turning over instead
+    of failing in one burst — the regime that exercises shard handoff and
+    anti-entropy continuously. Each leave lasts [churn_downtime] seconds.
+    With [churn_poisson] (the default) both the inter-event gaps and the
+    downtimes are exponential with those means; without it they are fixed,
+    giving a strictly periodic rolling restart. No event is generated
+    before [churn_start]. Churn composes with [node]/[node_schedules]: the
+    downtime intervals are unioned per node. *)
+type churn = {
+  churn_rate : float;  (** leave events per second, cluster-wide, [> 0] *)
+  churn_downtime : float;  (** (mean) downtime per leave (s), [> 0] *)
+  churn_poisson : bool;  (** exponential gaps/downtimes vs. fixed period *)
+  churn_start : float;  (** first event no earlier than this (s), [>= 0] *)
+}
+
+(** [churn ()] builds a churn spec; defaults: [rate = 0.1] (one leave
+    every 10 s somewhere in the cluster), [downtime = 2 s],
+    [poisson = true], [start = 0.]. *)
+val churn :
+  ?rate:float ->
+  ?downtime:float ->
+  ?poisson:bool ->
+  ?start:float ->
+  unit ->
+  churn
+
 (** What an experiment asks for. [link] applies to every ordered pair of
     distinct endpoints unless overridden in [link_overrides] (keyed by
     [(src, dst)]). [node], when set, gives every node a stochastic crash
@@ -66,13 +94,15 @@ type partition = {
     tests), taking precedence over [node]. [partitions] lists the
     time-varying splits; they compose with the link profiles (a message
     surviving every active partition still runs the link's drop/delay
-    gauntlet). *)
+    gauntlet). [churn], when set, adds the rolling leave/rejoin stream on
+    top of whatever the other crash sources produce. *)
 type profile = {
   link : link_profile;
   link_overrides : ((int * int) * link_profile) list;
   node : node_profile option;
   node_schedules : (int * schedule) list;
   partitions : partition list;
+  churn : churn option;
   horizon : float;  (** crash schedules are generated within [\[0, horizon)] *)
 }
 
@@ -90,6 +120,7 @@ val make :
   ?node:node_profile ->
   ?node_schedules:(int * schedule) list ->
   ?partitions:partition list ->
+  ?churn:churn ->
   ?horizon:float ->
   unit ->
   profile
@@ -120,9 +151,11 @@ type t
 (** [create p ~rng ~nodes] validates [p] and instantiates it. [nodes] is
     the number of crashable endpoints (endpoint ids [0 .. nodes-1]; higher
     ids — client endpoints — never crash). Crash schedules are derived from
-    per-node splits of [rng] in node order, then the remainder of [rng]
-    drives per-message draws, so schedules depend only on the seed while
-    message fates additionally depend on the (deterministic) traffic. *)
+    per-node splits of [rng] in node order (then one further split drives
+    the churn stream, taken only when churn is configured), and the
+    remainder of [rng] drives per-message draws, so schedules depend only
+    on the seed while message fates additionally depend on the
+    (deterministic) traffic. *)
 val create : profile -> rng:Rng.t -> nodes:int -> t
 
 (** [action t ~src ~dst ~now] decides the fate of a message sent from

@@ -1,6 +1,7 @@
 type t = {
   engine : Engine.t;
   lat : float;
+  extra : (int -> float) option;  (* per-endpoint extra one-way latency *)
   bandwidth : float;
   loss : float;
   rng : Rng.t option;
@@ -11,8 +12,8 @@ type t = {
   mutable n_lost : int;
 }
 
-let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng ?fault
-    engine ~n_endpoints =
+let create ?(latency = 0.0002) ?extra_latency ?(bandwidth = 12.5e6)
+    ?(loss = 0.) ?rng ?fault engine ~n_endpoints =
   if n_endpoints < 1 then invalid_arg "Net.create: need at least one endpoint";
   if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
   if loss < 0. || loss > 1. then invalid_arg "Net.create: loss out of [0,1]";
@@ -21,6 +22,7 @@ let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng ?fault
   {
     engine;
     lat = latency;
+    extra = extra_latency;
     bandwidth;
     loss;
     rng;
@@ -30,6 +32,11 @@ let create ?(latency = 0.0002) ?(bandwidth = 12.5e6) ?(loss = 0.) ?rng ?fault
     n_bytes = 0;
     n_lost = 0;
   }
+
+(* One-way flight time between two endpoints; without per-endpoint extras
+   this is exactly [lat], leaving the default path untouched. *)
+let one_way t ~src ~dst =
+  match t.extra with None -> t.lat | Some f -> t.lat +. f src +. f dst
 
 let dropped t =
   t.loss > 0.
@@ -79,8 +86,9 @@ let send t ~src ~dst ~bytes mailbox msg =
       | Fault.Deliver | Fault.Delay _ as a ->
           let extra = match a with Fault.Delay d -> d | _ -> 0. in
           ignore
-            (Engine.schedule_after t.engine (t.lat +. extra) (fun () ->
-                 Mailbox.send mailbox msg)
+            (Engine.schedule_after t.engine
+               (one_way t ~src ~dst +. extra)
+               (fun () -> Mailbox.send mailbox msg)
               : Engine.handle)
   end
 
@@ -97,7 +105,7 @@ let post t ~src ~dst ~bytes mailbox msg =
         let extra = match a with Fault.Delay d -> d | _ -> 0. in
         ignore
           (Engine.schedule_after t.engine
-             (tx_time t bytes +. t.lat +. extra)
+             (tx_time t bytes +. one_way t ~src ~dst +. extra)
              (fun () -> Mailbox.send mailbox msg)
             : Engine.handle)
 
@@ -108,7 +116,7 @@ let transfer t ~src ~dst ~bytes =
   account t bytes;
   if src <> dst then begin
     Mutex.with_lock t.nics.(src) (fun () -> Engine.delay (tx_time t bytes));
-    Engine.delay t.lat
+    Engine.delay (one_way t ~src ~dst)
   end
 
 let latency t = t.lat

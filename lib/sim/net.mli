@@ -14,6 +14,7 @@ type t
 
 val create :
   ?latency:float ->
+  ?extra_latency:(int -> float) ->
   ?bandwidth:float ->
   ?loss:float ->
   ?rng:Rng.t ->
@@ -24,6 +25,13 @@ val create :
 (** Defaults: [latency = 0.2 ms] one-way, [bandwidth = 12.5 MB/s]
     (100 Mbit/s). [n_endpoints] sizes the per-host NIC resources; endpoint
     ids are [0 .. n_endpoints-1].
+
+    [extra_latency], when given, maps an endpoint id to extra one-way
+    latency: a message (or {!transfer}) between [src] and [dst] flies for
+    [latency + extra_latency src + extra_latency dst] — how geo-tiered
+    client populations put WAN distance on their links while the cluster
+    LAN keeps the base latency. Omitted (the default), the delivery path
+    is exactly the fixed-latency behaviour.
 
     [loss] (default [0.]) is the probability that a {!send}/{!post}
     message is silently dropped after transmission — for failure-injection

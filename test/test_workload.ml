@@ -308,6 +308,61 @@ let test_register_trace_files () =
   check_int "two files" 2 (Cgi.Registry.file_count r)
 
 (* ------------------------------------------------------------------ *)
+(* Generator edge cases *)
+
+let test_webstone_empty_mix () =
+  let t = Workload.Webstone.file_trace ~seed:1 ~n:0 in
+  check_int "empty trace" 0 (Workload.Trace.length t);
+  check_int "no keys" 0 (Workload.Trace.unique_keys t)
+
+let test_coop_single_key_zipf () =
+  (* A one-key universe is a degenerate Zipf: every request references the
+     same key and every request but the first is a potential hit. *)
+  let t = Workload.Synthetic.coop ~seed:3 ~n:50 ~n_unique:1 ~n_hot:1 () in
+  check_int "n" 50 (Workload.Trace.length t);
+  check_int "one key" 1 (Workload.Trace.unique_keys t);
+  check_int "all repeats" 49 (Workload.Analyzer.upper_bound_hits t)
+
+let test_coop_replay_determinism () =
+  (* Stronger than key equality: the whole item (key, demand, output size)
+     must replay identically for a fixed seed — the property the scenario
+     byte-identity tests build on. *)
+  let gen () =
+    Workload.Synthetic.coop ~seed:17 ~n:300 ~n_unique:90 ~n_hot:9
+      ~zipf_s:1.2 ~demand:0.25 ~out_bytes:1234 ~locality:0.1 ()
+  in
+  List.iter2
+    (fun a b ->
+      check_string "key" (Workload.Trace.key a) (Workload.Trace.key b);
+      check_float_eps 0. "service" (Workload.Trace.service_time a)
+        (Workload.Trace.service_time b);
+      check_int "id" a.Workload.Trace.id b.Workload.Trace.id)
+    (gen ()) (gen ())
+
+let test_scenario_window_clipped () =
+  (* A crowd window running past the end of the scenario is clipped: the
+     post (and, here, decay) phases have zero duration and are dropped,
+     and the tiling still ends exactly at the duration. *)
+  let sc =
+    Workload.Scenario.make ~duration:10.
+      ~flash:
+        (Workload.Scenario.flash_crowd ~at:6. ~duration:50. ~decay:10. ())
+      ()
+  in
+  (match Workload.Scenario.phases sc with
+  | [ ("pre", _, _); ("crowd", c0, c1) ] ->
+      check_float_eps 1e-9 "crowd clipped start" 6. c0;
+      check_float_eps 1e-9 "crowd clipped stop" 10. c1
+  | _ -> Alcotest.fail "clipped schedule expected");
+  check_int "zero requests give zero arrivals" 0
+    (Array.length
+       (Workload.Scenario.arrival_times
+          (Workload.Scenario.make ~duration:10.
+             ~diurnal:(Workload.Scenario.Sinusoid { period = 10.; trough = 0.5 })
+             ())
+          ~n:0))
+
+(* ------------------------------------------------------------------ *)
 (* Analyzer *)
 
 let test_analyzer_hand_built () =
@@ -436,6 +491,15 @@ let () =
             test_unique_cacheable_all_distinct;
           Alcotest.test_case "uncacheable script flag" `Quick test_uncacheable_script_flag;
           Alcotest.test_case "register trace files" `Quick test_register_trace_files;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "empty webstone mix" `Quick test_webstone_empty_mix;
+          Alcotest.test_case "single-key Zipf" `Quick test_coop_single_key_zipf;
+          Alcotest.test_case "replay determinism" `Quick
+            test_coop_replay_determinism;
+          Alcotest.test_case "crowd window clipped at run end" `Quick
+            test_scenario_window_clipped;
         ] );
       ( "analyzer",
         [
