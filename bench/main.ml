@@ -692,6 +692,50 @@ let bench_ablation_scenario () =
     rows;
   emit t
 
+let bench_ablation_freshness () =
+  let rows = Swala.Experiments.ablation_freshness ~seed () in
+  let t =
+    Metrics.Table.create
+      ~title:
+        "Ablation A13. Freshness policy x metadata plane under the A12 \
+         flash crowd (no churn): fixed whole-cache TTLs (2/8/32 s) vs the \
+         per-key adaptive controller vs adaptive + proactive refresh (4 \
+         re-execs/s/node)."
+      ~columns:
+        [
+          ("Plane", Metrics.Table.Left);
+          ("Policy", Metrics.Table.Left);
+          ("Stale mean (s)", Metrics.Table.Right);
+          ("Stale p99 (s)", Metrics.Table.Right);
+          ("Hit ratio", Metrics.Table.Right);
+          ("CGI execs", Metrics.Table.Right);
+          ("Refreshes", Metrics.Table.Right);
+          ("Saved (ms)", Metrics.Table.Right);
+          ("Stale>8s", Metrics.Table.Right);
+          ("Dir KB", Metrics.Table.Right);
+          ("Mean response (s)", Metrics.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Swala.Experiments.freshness_row) ->
+      Metrics.Table.add_row t
+        [
+          r.Swala.Experiments.dirmode_fr;
+          r.Swala.Experiments.variant_fr;
+          Printf.sprintf "%.3f" r.Swala.Experiments.stale_mean_fr;
+          Printf.sprintf "%.3f" r.Swala.Experiments.stale_p99_fr;
+          Printf.sprintf "%.1f%%" (100. *. r.Swala.Experiments.hit_ratio_fr);
+          Metrics.Table.fmt_i r.Swala.Experiments.cgi_execs_fr;
+          Metrics.Table.fmt_i r.Swala.Experiments.refreshes_fr;
+          Metrics.Table.fmt_i r.Swala.Experiments.refresh_saved_ms_fr;
+          Metrics.Table.fmt_i r.Swala.Experiments.stale_served_fr;
+          Printf.sprintf "%.1f"
+            (float_of_int r.Swala.Experiments.dir_bytes_fr /. 1024.);
+          sec r.Swala.Experiments.mean_response_fr;
+        ])
+    rows;
+  emit t
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels *)
 
@@ -877,6 +921,7 @@ let all_targets =
     ("ablation-batching", bench_ablation_batching);
     ("ablation-dirmode", bench_ablation_dirmode);
     ("ablation-scenario", bench_ablation_scenario);
+    ("ablation-freshness", bench_ablation_freshness);
     ("breakdown", bench_breakdown);
     ("micro", run_micro);
   ]

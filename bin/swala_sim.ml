@@ -302,6 +302,56 @@ let hotspot_replicas_t =
           "Ring successors a promoted hotspot key's directory entry is \
            pushed to.")
 
+(* Freshness-plane options (per-key adaptive TTLs + proactive refresh). *)
+
+let freshness_t =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Cache.Freshness.mode_of_string s)
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Cache.Freshness.mode_to_string m)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Cache.Freshness.Fixed
+    & info [ "freshness" ] ~docv:"MODE"
+        ~doc:
+          "TTL policy for cached CGI results: fixed (rule/script TTL, \
+           else $(b,--default-ttl) — the classic behaviour) or adaptive \
+           (a per-key controller balances staleness risk against \
+           recompute cost, giving cheap hot keys short TTLs and \
+           expensive stable keys long ones; explicit rule/script TTLs \
+           still win).")
+
+let default_ttl_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "default-ttl" ] ~docv:"SEC"
+        ~doc:
+          "Fallback TTL for cacheable scripts that set none (fixed \
+           freshness). Unset (the default) means such entries never \
+           expire; under adaptive freshness it is only the staleness \
+           anchor for the stale_served counter.")
+
+let refresh_budget_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "refresh-budget" ] ~docv:"R"
+        ~doc:
+          "Proactive-refresh budget, in re-executions per second per \
+           node: a daemon re-runs hot, expensive, near-expiry cache \
+           entries off the critical path so clients keep hitting instead \
+           of missing at expiry. 0 (default) disables the daemon \
+           entirely.")
+
+let refresh_interval_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "refresh-interval" ] ~docv:"SEC"
+        ~doc:
+          "Scan period of the proactive-refresh daemon; entries expiring \
+           within two intervals are refresh candidates.")
+
 let fetch_timeout_t =
   Arg.(
     value & opt (some float) None
@@ -607,9 +657,10 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
     fetch_backoff batch_flush_interval batch_max dir_hints dir_mode
     shard_vnodes shard_lookup_cache shard_pos_ttl shard_neg_ttl
-    hotspot_threshold hotspot_window hotspot_replicas scenario_name
-    scenario_duration flash_crowd diurnal geo_tiers churn_rate churn_downtime
-    churn_fixed trace_file trace_breakdown metrics_out =
+    hotspot_threshold hotspot_window hotspot_replicas freshness default_ttl
+    refresh_budget refresh_interval scenario_name scenario_duration flash_crowd
+    diurnal geo_tiers churn_rate churn_downtime churn_fixed trace_file
+    trace_breakdown metrics_out =
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
@@ -654,7 +705,9 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
           ~fetch_backoff ~anti_entropy_period ~batch_max
           ~batch_flush_interval ~dir_hints ~dir_mode ~shard_vnodes
           ~shard_lookup_cache ~shard_pos_ttl ~shard_neg_ttl
-          ~hotspot_threshold ~hotspot_window ~hotspot_replicas ~scenario
+          ~hotspot_threshold ~hotspot_window ~hotspot_replicas ~freshness
+          ?default_ttl:(Option.map Option.some default_ttl)
+          ~refresh_budget ~refresh_interval ~scenario
           ~trace:(trace_file <> None || trace_breakdown)
           ~seed ()
       in
@@ -724,6 +777,21 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       Printf.printf "cache hits (local+remote) %d (hit ratio %.1f%% of CGI)\n"
         result.Swala.Cluster_runner.hits
         (100. *. result.Swala.Cluster_runner.hit_ratio);
+      (* Freshness summary only when the plane is in play, keeping default
+         runs' stdout identical to older builds. *)
+      (if result.Swala.Cluster_runner.freshness_active then
+         let st = result.Swala.Cluster_runner.staleness in
+         let fmt = function
+           | None -> "-"
+           | Some v -> Printf.sprintf "%.3f" v
+         in
+         Printf.printf
+           "freshness                 %s (hit age mean %.3f / p99 %s s over \
+            %d hits)\n"
+           result.Swala.Cluster_runner.freshness_mode
+           (Metrics.Histogram.mean st)
+           (fmt (Metrics.Histogram.quantile_opt st 0.99))
+           (Metrics.Histogram.count st));
       Printf.printf "per-node CPU utilisation  %s\n"
         (String.concat " "
            (Array.to_list
@@ -775,7 +843,8 @@ let run_cmd =
       $ fetch_retries_t $ fetch_backoff_t $ batch_flush_t $ batch_max_t
       $ dir_hints_t $ dir_mode_t $ shard_vnodes_t $ shard_lookup_cache_t
       $ shard_pos_ttl_t $ shard_neg_ttl_t $ hotspot_threshold_t
-      $ hotspot_window_t $ hotspot_replicas_t $ scenario_t
+      $ hotspot_window_t $ hotspot_replicas_t $ freshness_t $ default_ttl_t
+      $ refresh_budget_t $ refresh_interval_t $ scenario_t
       $ scenario_duration_t $ flash_crowd_t $ diurnal_t $ geo_tiers_t
       $ churn_rate_t $ churn_downtime_t $ churn_fixed_t $ trace_file_t
       $ trace_breakdown_t $ metrics_out_t)
@@ -844,6 +913,8 @@ let list_cmd =
                sharded (+hotspot)";
               "  ablation-scenario     flash crowd + rolling churn: replicated \
                vs sharded, per phase";
+              "  ablation-freshness    fixed vs adaptive TTL (+refresh) under \
+               a flash crowd";
               "  breakdown             traced replay: latency breakdown + \
                contention histograms";
               "  micro                 Bechamel micro-benchmarks + wall-clock \

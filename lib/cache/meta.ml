@@ -13,6 +13,8 @@ let make ~key ~owner ~size ~exec_time ~created ~expires =
   { key; owner; size; exec_time; created; expires }
 
 let expired t ~now = match t.expires with Some e -> now >= e | None -> false
+let cost t = t.exec_time
+let age t ~now = now -. t.created
 
 let pp ppf t =
   Format.fprintf ppf "%s@@node%d (%d B, exec %.3fs)" t.key t.owner t.size

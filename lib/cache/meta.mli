@@ -20,7 +20,18 @@ val make :
   expires:float option ->
   t
 
-(** [expired t ~now] is [true] when [t] has an expiry in the past. *)
+(** [expired t ~now] is [true] when [t] has an expiry in the past — or at
+    the exact expiry instant: a result is stale the moment its TTL has
+    fully elapsed, so a hit's age is strictly below its TTL. *)
 val expired : t -> now:float -> bool
+
+(** [cost t] is the recompute cost of the entry — the measured CGI
+    execution time the {!Freshness} controller and proactive refresh
+    weigh against staleness. *)
+val cost : t -> float
+
+(** [age t ~now] is [now - created], the staleness of a result served at
+    [now]. *)
+val age : t -> now:float -> float
 
 val pp : Format.formatter -> t -> unit

@@ -264,5 +264,37 @@ let bytes t = t.stats.Stats.bytes_stored
 let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort String.compare
 
+(* Candidates for proactive refresh: live entries whose expiry falls
+   within (now, now + horizon], with the access statistics the refresh
+   daemon filters on. Read-only — no touch, no stats — and sorted by
+   (expiry, key) so iteration order is deterministic regardless of
+   hash-table layout. *)
+type candidate = {
+  c_entry : entry;
+  c_last_access : float;
+  c_hits : int;
+  c_expires : float;
+}
+
+let expiring t ~now ~horizon =
+  Hashtbl.fold
+    (fun _ slot acc ->
+      match slot.entry.meta.Meta.expires with
+      | Some e when e > now && e -. now <= horizon ->
+          {
+            c_entry = slot.entry;
+            c_last_access = slot.last_access;
+            c_hits = slot.hits;
+            c_expires = e;
+          }
+          :: acc
+      | Some _ | None -> acc)
+    t.table []
+  |> List.sort (fun a b ->
+         let c = Float.compare a.c_expires b.c_expires in
+         if c <> 0 then c
+         else
+           String.compare a.c_entry.meta.Meta.key b.c_entry.meta.Meta.key)
+
 let stats t = t.stats
 let policy t = t.pol

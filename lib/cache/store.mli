@@ -57,6 +57,23 @@ val purge_expired : t -> Meta.t list
     neither evictions nor expirations. *)
 val clear : t -> int
 
+(** A proactive-refresh candidate: the live entry plus the access
+    statistics the refresh daemon filters on ([c_expires] is the entry's
+    absolute expiry, always set for candidates). *)
+type candidate = {
+  c_entry : entry;
+  c_last_access : float;
+  c_hits : int;
+  c_expires : float;
+}
+
+(** [expiring t ~now ~horizon] lists the entries expiring within
+    [(now, now + horizon]], sorted by (expiry, key) for deterministic
+    iteration. Read-only: touches no access statistics and counts
+    nothing; already-expired entries are not listed (the purge daemon
+    owns those). *)
+val expiring : t -> now:float -> horizon:float -> candidate list
+
 val mem : t -> string -> bool
 val length : t -> int
 val capacity : t -> int

@@ -22,6 +22,9 @@ type result = {
   tracer : Metrics.Trace.t option;
   wait_histograms : (string * Metrics.Histogram.t) list;
   tier_response : (string * Metrics.Sample.t) list;
+  freshness_mode : string;
+  freshness_active : bool;
+  staleness : Metrics.Histogram.t;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -294,6 +297,15 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
                (fun i sample -> (Workload.Scenario.tier_name sc i, sample))
                tier_samples)
       | Some _ | None -> []);
+    freshness_mode = Cache.Freshness.mode_to_string cfg.Config.freshness;
+    (* The staleness histogram is recorded in every mode (it is pure
+       host-side observation), but only surfaces in the JSON payload when
+       the freshness plane is actually in play — keeping fixed-mode
+       payloads identical to pre-freshness builds. *)
+    freshness_active =
+      cfg.Config.freshness = Cache.Freshness.Adaptive
+      || cfg.Config.refresh_budget > 0.;
+    staleness = Server.staleness_histogram cluster;
   }
 
 (* JSON rendering of a run's metrics (the [--metrics-out] payload, also
@@ -374,13 +386,22 @@ let result_to_json r =
     @
     (* Per-tier response summaries only appear on geo-tiered runs, keeping
        the scenario-free payload identical. *)
-    match r.tier_response with
+    (match r.tier_response with
     | [] -> []
     | tiers ->
         [
           ( "tier_response_s",
             J.Obj (List.map (fun (name, s) -> (name, sample_json s)) tiers) );
-        ]))
+        ])
+    @
+    (* The freshness plane's keys only appear when it is on (adaptive TTLs
+       or a refresh budget), keeping default payloads identical. *)
+    if r.freshness_active then
+      [
+        ("freshness", J.Str r.freshness_mode);
+        ("staleness_s", histogram_json r.staleness);
+      ]
+    else []))
 
 let default_registry trace =
   let registry = Cgi.Registry.create () in

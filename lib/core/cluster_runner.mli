@@ -55,6 +55,15 @@ type result = {
   tier_response : (string * Metrics.Sample.t) list;
       (** per-tier client response times on geo-tiered scenario runs
           ([cfg.scenario] with tiers), in tier order; empty otherwise *)
+  freshness_mode : string;  (** ["fixed"] or ["adaptive"], from the config *)
+  freshness_active : bool;
+      (** whether the freshness plane was in play (adaptive TTLs or a
+          refresh budget); gates the ["freshness"]/["staleness_s"] JSON
+          keys so default payloads stay identical to older builds *)
+  staleness : Metrics.Histogram.t;
+      (** content ages at cache hits (seconds since entry creation) —
+          recorded in every mode; the freshness ablation's staleness
+          metric *)
 }
 
 val mean_response : result -> float

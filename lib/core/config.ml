@@ -103,6 +103,13 @@ type t = {
   hotspot_threshold : float;
   hotspot_window : float;
   hotspot_replicas : int;
+  freshness : Cache.Freshness.mode;
+  freshness_min_ttl : float;
+  freshness_max_ttl : float;
+  freshness_penalty : float;
+  freshness_window : float;
+  refresh_budget : float;
+  refresh_interval : float;
   fs_cache_hit : float;
   scenario : Workload.Scenario.t option;
   trace : bool;
@@ -152,6 +159,13 @@ let default =
     hotspot_threshold = 0.;
     hotspot_window = 2.0;
     hotspot_replicas = 2;
+    freshness = Cache.Freshness.Fixed;
+    freshness_min_ttl = 0.25;
+    freshness_max_ttl = 120.;
+    freshness_penalty = 0.01;
+    freshness_window = 2.0;
+    refresh_budget = 0.;
+    refresh_interval = 0.5;
     fs_cache_hit = 0.95;
     scenario = None;
     trace = false;
@@ -192,6 +206,13 @@ let make ?(n_nodes = default.n_nodes)
     ?(hotspot_threshold = default.hotspot_threshold)
     ?(hotspot_window = default.hotspot_window)
     ?(hotspot_replicas = default.hotspot_replicas)
+    ?(freshness = default.freshness)
+    ?(freshness_min_ttl = default.freshness_min_ttl)
+    ?(freshness_max_ttl = default.freshness_max_ttl)
+    ?(freshness_penalty = default.freshness_penalty)
+    ?(freshness_window = default.freshness_window)
+    ?(refresh_budget = default.refresh_budget)
+    ?(refresh_interval = default.refresh_interval)
     ?(fs_cache_hit = default.fs_cache_hit) ?(scenario = default.scenario)
     ?(trace = default.trace) ?(seed = default.seed) () =
   {
@@ -236,6 +257,13 @@ let make ?(n_nodes = default.n_nodes)
     hotspot_threshold;
     hotspot_window;
     hotspot_replicas;
+    freshness;
+    freshness_min_ttl;
+    freshness_max_ttl;
+    freshness_penalty;
+    freshness_window;
+    refresh_budget;
+    refresh_interval;
     fs_cache_hit;
     scenario;
     trace;
@@ -329,6 +357,24 @@ let validate t =
     check (t.hotspot_threshold = 0.)
       "hotspot_threshold requires dir_mode = Sharded (replicated mode \
        already holds every entry on every node)";
+  check (t.freshness_min_ttl > 0.) "freshness_min_ttl must be positive";
+  check
+    (t.freshness_max_ttl >= t.freshness_min_ttl)
+    "freshness_max_ttl must be >= freshness_min_ttl";
+  check (t.freshness_penalty > 0.) "freshness_penalty must be positive";
+  check (t.freshness_window > 0.) "freshness_window must be positive";
+  check (t.refresh_budget >= 0.) "refresh_budget must be >= 0";
+  check (t.refresh_interval > 0.) "refresh_interval must be positive";
+  if t.freshness = Cache.Freshness.Adaptive then
+    check
+      (t.cache_mode <> Disabled)
+      "adaptive freshness controls cache TTLs; it requires a cache \
+       (cache_mode must not be no-cache)";
+  if t.refresh_budget > 0. then
+    check
+      (t.cache_mode <> Disabled)
+      "proactive refresh re-executes cached entries; it requires a cache \
+       (cache_mode must not be no-cache)";
   check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
   check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
   check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";

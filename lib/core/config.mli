@@ -170,6 +170,37 @@ type t = {
   hotspot_replicas : int;
       (** extra replica owners a promoted key's directory entry is pushed
           to (the k distinct ring successors of the home). Default 2 *)
+  freshness : Cache.Freshness.mode;
+      (** how TTLs are assigned to results whose rule and script set none.
+          [Fixed] (the default) uses [default_ttl] — byte-identical to
+          builds without the freshness layer. [Adaptive] runs a per-node
+          {!Cache.Freshness} controller that picks a per-key TTL from the
+          observed access rate and recompute cost; requires a cache.
+          Rule and per-script TTLs always win over either layer *)
+  freshness_min_ttl : float;
+      (** lower clamp on controller-emitted TTLs (s). Default 0.25 *)
+  freshness_max_ttl : float;
+      (** upper clamp on controller-emitted TTLs (s). Default 120 *)
+  freshness_penalty : float;
+      (** staleness weight: serving one second of staleness across one
+          access costs this many CPU-seconds in the controller's
+          objective. Larger values push TTLs down. The default (0.01) is
+          sized against this simulator's CGI demands (tens of
+          milliseconds), giving a typical key seconds of TTL:
+          [T* = sqrt(2 cost / (penalty rate))] *)
+  freshness_window : float;
+      (** sliding window (s) of the controller's per-key access-rate
+          estimator, and the recency horizon of the refresh daemon's
+          "hot" filter. Default 2 s *)
+  refresh_budget : float;
+      (** proactive refreshes per second per node the refresh daemon may
+          spend re-executing hot, expensive, near-expiry entries off the
+          critical path. [0.] (the default) disables the daemon entirely;
+          positive values require a cache. Works under either freshness
+          mode *)
+  refresh_interval : float;
+      (** refresh-daemon wake-up period (s); each tick scans entries
+          expiring within twice this horizon. Default 0.5 s *)
   fs_cache_hit : float;  (** P(static file is in the OS buffer cache) *)
   scenario : Workload.Scenario.t option;
       (** time-varying workload scenario (flash crowd, diurnal envelope,
@@ -235,6 +266,13 @@ val make :
   ?hotspot_threshold:float ->
   ?hotspot_window:float ->
   ?hotspot_replicas:int ->
+  ?freshness:Cache.Freshness.mode ->
+  ?freshness_min_ttl:float ->
+  ?freshness_max_ttl:float ->
+  ?freshness_penalty:float ->
+  ?freshness_window:float ->
+  ?refresh_budget:float ->
+  ?refresh_interval:float ->
   ?fs_cache_hit:float ->
   ?scenario:Workload.Scenario.t option ->
   ?trace:bool ->

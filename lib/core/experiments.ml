@@ -958,3 +958,95 @@ let ablation_scenario ?(seed = default_seed) ?(n_nodes = 8)
              })
            phase_samples)
     variants
+
+(* ------------------------------------------------------------------ *)
+(* A13 — freshness: fixed vs adaptive TTL under a flash crowd *)
+
+type freshness_row = {
+  dirmode_fr : string;
+  variant_fr : string;
+  stale_mean_fr : float;
+  stale_p99_fr : float;
+  hit_ratio_fr : float;
+  cgi_execs_fr : int;
+  refreshes_fr : int;
+  refresh_saved_ms_fr : int;
+  stale_served_fr : int;
+  dir_bytes_fr : int;
+  mean_response_fr : float;
+}
+
+let ablation_freshness ?(seed = default_seed) ?(n_nodes = 4)
+    ?(n_requests = 4000) () =
+  (* The staleness x recompute-cost x bytes-moved sweep: the A12 flash
+     crowd (80 % of CGI traffic onto an 8-key head for the middle of the
+     run, no churn) replayed under three fixed TTLs bracketing the
+     regime, the adaptive controller, and adaptive plus the proactive
+     refresh daemon — on both metadata planes. Fixed TTLs trace the
+     whole-cache tradeoff curve (short = fresh but recompute-heavy and
+     chatty, long = cheap but stale); the controller picks a point per
+     key from its observed rate and cost, and the [default_ttl = 8]
+     anchor on the adaptive rows defines the stale_served counter
+     ("hits a fixed-8 cache would have refused"). *)
+  let trace =
+    Workload.Synthetic.coop ~seed ~n:n_requests
+      ~n_unique:(Stdlib.max 1 (n_requests / 4))
+      ~n_hot:24 ~zipf_s:1.1 ~demand:0.02 ()
+  in
+  let scenario =
+    Workload.Scenario.make ~duration:12.
+      ~flash:
+        (Workload.Scenario.flash_crowd ~at:3. ~duration:3. ~decay:3.
+           ~fraction:0.8 ~keys:8 ~zipf_s:1.0 ~demand:0.02 ())
+      ()
+  in
+  let variants =
+    [ "fixed-2"; "fixed-8"; "fixed-32"; "adaptive"; "adaptive+refresh" ]
+  in
+  List.concat_map
+    (fun dir_mode ->
+      List.map
+        (fun variant ->
+          let make ?default_ttl ?freshness ?refresh_budget () =
+            Config.make ~n_nodes ~cache_mode:Config.Cooperative
+              ~cache_threshold:0.001 ~dir_mode ?default_ttl ?freshness
+              ?refresh_budget ~scenario:(Some scenario)
+              ~fetch_timeout:(Some 0.25) ~fetch_retries:1 ~seed ()
+          in
+          let cfg =
+            match variant with
+            | "fixed-2" -> make ~default_ttl:(Some 2.) ()
+            | "fixed-8" -> make ~default_ttl:(Some 8.) ()
+            | "fixed-32" -> make ~default_ttl:(Some 32.) ()
+            | "adaptive" ->
+                make ~default_ttl:(Some 8.)
+                  ~freshness:Cache.Freshness.Adaptive ()
+            | "adaptive+refresh" ->
+                make ~default_ttl:(Some 8.)
+                  ~freshness:Cache.Freshness.Adaptive ~refresh_budget:4. ()
+            | _ -> assert false
+          in
+          let r =
+            Cluster_runner.run cfg ~trace ~n_streams:(4 * n_nodes) ()
+          in
+          let get = Metrics.Counter.get r.Cluster_runner.counters in
+          let st = r.Cluster_runner.staleness in
+          {
+            dirmode_fr = Config.dir_mode_to_string dir_mode;
+            variant_fr = variant;
+            stale_mean_fr = Metrics.Histogram.mean st;
+            stale_p99_fr =
+              (match Metrics.Histogram.quantile_opt st 0.99 with
+              | Some v -> v
+              | None -> 0.);
+            hit_ratio_fr = r.Cluster_runner.hit_ratio;
+            cgi_execs_fr = get Server.K.cgi_execs;
+            refreshes_fr = get Server.K.refreshes;
+            refresh_saved_ms_fr = get Server.K.refresh_saved_ms;
+            stale_served_fr = get Server.K.stale_served;
+            dir_bytes_fr =
+              get Server.K.info_bytes + get Server.K.dir_lookup_bytes;
+            mean_response_fr = Cluster_runner.mean_response r;
+          })
+        variants)
+    [ Config.Replicated; Config.Sharded ]

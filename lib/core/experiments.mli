@@ -366,3 +366,34 @@ type scenario_row = {
     Returns rows per variant and phase; see {!scenario_row}. *)
 val ablation_scenario :
   ?seed:int -> ?n_nodes:int -> ?n_requests:int -> unit -> scenario_row list
+
+(** {1 A13 — freshness: fixed vs adaptive TTL under a flash crowd} *)
+
+(** One row of {!ablation_freshness}: one (metadata plane, TTL policy)
+    cell of the staleness x recompute-cost x bytes-moved sweep. *)
+type freshness_row = {
+  dirmode_fr : string;  (** ["replicated"] or ["sharded"] *)
+  variant_fr : string;
+      (** ["fixed-2"], ["fixed-8"], ["fixed-32"], ["adaptive"] or
+          ["adaptive+refresh"] *)
+  stale_mean_fr : float;  (** mean content age at cache hits, s *)
+  stale_p99_fr : float;
+  hit_ratio_fr : float;
+  cgi_execs_fr : int;  (** recompute cost axis *)
+  refreshes_fr : int;
+  refresh_saved_ms_fr : int;
+  stale_served_fr : int;
+      (** adaptive hits older than the fixed-8 anchor — what a fixed-8
+          cache would have refused to serve *)
+  dir_bytes_fr : int;  (** info + forwarded-lookup bytes: the wire axis *)
+  mean_response_fr : float;
+}
+
+(** [ablation_freshness ()] replays the A12 flash-crowd mix (no churn)
+    under three fixed TTLs bracketing the regime (2/8/32 s), the adaptive
+    per-key controller, and adaptive plus a 4-per-second proactive
+    refresh budget, on both metadata planes — the §A13 experiment: does
+    a per-key TTL beat every single whole-cache TTL somewhere on the
+    staleness/recompute/bytes frontier? *)
+val ablation_freshness :
+  ?seed:int -> ?n_nodes:int -> ?n_requests:int -> unit -> freshness_row list

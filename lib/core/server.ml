@@ -76,6 +76,17 @@ module K = struct
      elsewhere. *)
   let shard_handoff_reannounced = "shard_handoff_reannounced"
   let shard_pruned = "shard_pruned"
+
+  (* Freshness plane: refreshes counts proactive re-executions performed
+     by the refresh daemon; refresh_saved_ms sums (in milliseconds) the
+     execution time of refreshes that went on to serve at least one
+     subsequent hit — the client-visible recomputation they displaced.
+     stale_served counts hits (under the adaptive controller) whose age
+     exceeded the fixed default_ttl anchor — the staleness the adaptive
+     TTLs admitted that the fixed baseline would not have. *)
+  let refreshes = "refreshes"
+  let refresh_saved_ms = "refresh_saved_ms"
+  let stale_served = "stale_served"
 end
 
 module MP = Cache.Metadata_plane
@@ -108,6 +119,9 @@ type t = {
   disk : Sim.Disk.t;
   rng : Sim.Rng.t;
   ae_rng : Sim.Rng.t;  (* anti-entropy peer choice; own salted stream *)
+  refresh_rng : Sim.Rng.t;
+      (* proactive-refresh demand/failure draws; own salted stream so the
+         daemon never perturbs the request-path draws from [rng] *)
   listen : env Sim.Mailbox.t;
   endpoint : Cluster.Endpoint.t;
   store : Cache.Store.t;
@@ -116,6 +130,12 @@ type t = {
          (Config.Replicated) or this node's shard partition plus lookup
          cache and hotspot tracker (Config.Sharded) *)
   counters : Metrics.Counter.t;
+  fresh : Cache.Freshness.t option;
+      (* per-key adaptive TTL controller; [Some] iff Config.freshness is
+         Adaptive *)
+  refreshed : (string, float) Hashtbl.t;
+      (* key -> exec_time of its latest proactive refresh, popped by the
+         first subsequent hit to credit refresh_saved_ms *)
   in_flight : (string, int) Hashtbl.t;  (* CGI keys being executed *)
   mutable batch_buf : Cluster.Msg.info list;
       (* outbound directory updates awaiting a batched flush, newest
@@ -143,6 +163,9 @@ type cluster = {
   fwd_wait : Metrics.Histogram.t;
       (* sharded plane: forwarded-lookup round-trip waits, timeouts
          included; host-side only, like hit_latency *)
+  staleness : Metrics.Histogram.t;
+      (* age of the served result at every cache hit (local and remote),
+         seconds; host-side only, like hit_latency *)
 }
 
 let engine c = c.engine
@@ -194,6 +217,11 @@ let fault_seed_salt = 0x5DEECE66
    off a second salted root (never off [root]), so enabling the daemon
    does not perturb workload, CPU or cache streams. *)
 let anti_entropy_seed_salt = 0x0A17E57
+
+(* And for the proactive-refresh daemon's demand/failure draws: a third
+   salted root, so turning the daemon on re-executes entries without
+   shifting any request-path random stream. *)
+let refresh_seed_salt = 0x00F5E54A
 
 let create_cluster ?client_extra_latency engine cfg ~registry
     ~n_client_endpoints =
@@ -249,6 +277,9 @@ let create_cluster ?client_extra_latency engine cfg ~registry
   in
   let root = Sim.Rng.create cfg.Config.seed in
   let ae_root = Sim.Rng.create (cfg.Config.seed lxor anti_entropy_seed_salt) in
+  let refresh_root =
+    Sim.Rng.create (cfg.Config.seed lxor refresh_seed_salt)
+  in
   let fault =
     Option.map
       (fun profile ->
@@ -297,6 +328,7 @@ let create_cluster ?client_extra_latency engine cfg ~registry
           disk = Sim.Disk.create ?observe:disk_observe engine;
           rng;
           ae_rng = Sim.Rng.split ae_root;
+          refresh_rng = Sim.Rng.split refresh_root;
           listen =
             Sim.Mailbox.create ?on_wait:listen_on_wait
               ?on_depth:listen_on_depth ();
@@ -346,6 +378,17 @@ let create_cluster ?client_extra_latency engine cfg ~registry
                 in
                 MP.sharded ~ring ~table ?lookup_cache ?hotspot ());
           counters = Metrics.Counter.create ();
+          fresh =
+            (match cfg.Config.freshness with
+            | Cache.Freshness.Fixed -> None
+            | Cache.Freshness.Adaptive ->
+                Some
+                  (Cache.Freshness.create
+                     ~min_ttl:cfg.Config.freshness_min_ttl
+                     ~max_ttl:cfg.Config.freshness_max_ttl
+                     ~penalty:cfg.Config.freshness_penalty
+                     ~window:cfg.Config.freshness_window ()));
+          refreshed = Hashtbl.create 64;
           in_flight = Hashtbl.create 64;
           batch_buf = [];
           active = 0;
@@ -376,6 +419,8 @@ let create_cluster ?client_extra_latency engine cfg ~registry
     waits;
     hit_latency = Metrics.Sample.create ();
     fwd_wait = Metrics.Histogram.create ();
+    staleness =
+      Metrics.Histogram.create ~bounds:Metrics.Histogram.age_bounds ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -478,8 +523,16 @@ let now () = Sim.Engine.now ()
 let incr nd k = Metrics.Counter.incr nd.counters k
 
 (* Per-request cache treatment after composing the administrator rules
-   (§4.1's configuration file) with script flags and server defaults. *)
-type cache_ctl = { attempt : bool; ttl : float option; threshold : float }
+   (§4.1's configuration file) with script flags and server defaults.
+   The TTL is either fully determined here ([Ttl]: a rule override, the
+   script's own TTL, or the fixed default) or deferred to the per-key
+   adaptive controller at insert time ([Controller_ttl]) — the controller
+   needs the measured execution cost, which only exists after the CGI
+   ran. Explicit rule/script TTLs always beat either server-wide layer
+   (Cache.Freshness.effective_ttl's precedence). *)
+type ttl_choice = Ttl of float option | Controller_ttl
+
+type cache_ctl = { attempt : bool; ttl : ttl_choice; threshold : float }
 
 let cache_ctl_for c (script : Cgi.Script.t) meth =
   let rule = Rules.decide c.cfg.Config.rules script.Cgi.Script.name in
@@ -489,10 +542,18 @@ let cache_ctl_for c (script : Cgi.Script.t) meth =
     && c.cfg.Config.cache_mode <> Config.Disabled
   in
   let ttl =
-    match (rule.Rules.ttl, script.Cgi.Script.ttl) with
-    | (Some _ as t), _ -> t
-    | None, (Some _ as t) -> t
-    | None, None -> c.cfg.Config.default_ttl
+    match c.cfg.Config.freshness with
+    | Cache.Freshness.Fixed ->
+        Ttl
+          (Cache.Freshness.effective_ttl ~rule:rule.Rules.ttl
+             ~script:script.Cgi.Script.ttl ~default:c.cfg.Config.default_ttl)
+    | Cache.Freshness.Adaptive -> (
+        match
+          Cache.Freshness.effective_ttl ~rule:rule.Rules.ttl
+            ~script:script.Cgi.Script.ttl ~default:None
+        with
+        | Some _ as t -> Ttl t
+        | None -> Controller_ttl)
   in
   let threshold =
     Option.value rule.Rules.threshold ~default:c.cfg.Config.cache_threshold
@@ -506,6 +567,23 @@ let insert_result c nd ~key ~body ~exec_time ttl =
   with_span c nd "insert" @@ fun () ->
   Sim.Cpu.consume nd.cpu c.cfg.Config.insert_cost;
   let created = now () in
+  (* Feed the controller before asking it: this very recomputation is an
+     observation of the key's cost and update gap. *)
+  Option.iter
+    (fun f ->
+      Cache.Freshness.observe_insert f ~now:created ~cost:exec_time key)
+    nd.fresh;
+  let ttl =
+    match ttl with
+    | Ttl t -> t
+    | Controller_ttl -> (
+        match nd.fresh with
+        | Some f -> Some (Cache.Freshness.ttl f ~now:created ~cost:exec_time key)
+        | None ->
+            (* Unreachable: Controller_ttl is only emitted under Adaptive,
+               which allocates the tracker. Fall back to the fixed layer. *)
+            c.cfg.Config.default_ttl)
+  in
   let meta =
     Cache.Meta.make ~key ~owner:nd.id ~size:(String.length body) ~exec_time
       ~created
@@ -822,8 +900,32 @@ let exec_and_respond c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) =
 (* ------------------------------------------------------------------ *)
 (* Cache hit paths *)
 
+(* Host-side freshness bookkeeping at a cache hit (either kind): sample
+   the served result's age, count it stale when the adaptive controller
+   admitted more age than the fixed default_ttl anchor would have, and
+   credit the owner's latest proactive refresh with the execution it
+   displaced (first hit after the refresh pops the pending credit). Pure
+   observation — no simulated effects — so recording perturbs nothing. *)
+let note_hit_freshness c nd (meta : Cache.Meta.t) =
+  let age = Cache.Meta.age meta ~now:(now ()) in
+  Metrics.Histogram.add c.staleness age;
+  (match (nd.fresh, c.cfg.Config.default_ttl) with
+  | Some _, Some anchor when age > anchor -> incr nd K.stale_served
+  | _ -> ());
+  let owner = meta.Cache.Meta.owner in
+  if owner >= 0 && owner < Array.length c.nodes then begin
+    let ond = c.nodes.(owner) in
+    match Hashtbl.find_opt ond.refreshed meta.Cache.Meta.key with
+    | Some saved ->
+        Hashtbl.remove ond.refreshed meta.Cache.Meta.key;
+        Metrics.Counter.add ond.counters K.refresh_saved_ms
+          (int_of_float (Float.round (saved *. 1000.)))
+    | None -> ()
+  end
+
 let serve_local c nd env ~t0 (entry : Cache.Store.entry) =
   incr nd K.hit_local;
+  note_hit_freshness c nd entry.Cache.Store.meta;
   with_span c nd "hit.local" (fun () ->
       Sim.Cpu.consume nd.cpu c.cfg.Config.local_fetch_cost;
       (* The result file is recently used, hence in the OS buffer cache. *)
@@ -890,8 +992,11 @@ let fetch_remote c nd env (script : Cgi.Script.t) key ~(ctl : cache_ctl) ~t0
           end
       | None -> ());
       exec_and_respond c nd env script key ~ctl
-  | Some (Cluster.Msg.Hit { body; _ }) ->
+  | Some (Cluster.Msg.Hit { meta = served; body }) ->
       incr nd K.hit_remote;
+      (* Use the owner's reply meta, not the directory's view: the entry
+         may have been refreshed since the directory lookup. *)
+      note_hit_freshness c nd served;
       Sim.Cpu.consume nd.cpu
         (c.cfg.Config.model.Config.per_byte_send
         *. float_of_int (String.length body));
@@ -1059,7 +1164,12 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
     incr nd K.uncacheable;
     exec_and_respond c nd env script key ~ctl
   end
-  else
+  else begin
+    (* Every cache-directed access feeds the key's rate estimate — hits
+       and misses alike, since both are demand for a fresh result. *)
+    Option.iter
+      (fun f -> Cache.Freshness.observe_access f ~now:(now ()) key)
+      nd.fresh;
     match c.cfg.Config.cache_mode with
     | Config.Disabled -> assert false
     | Config.Standalone -> (
@@ -1088,6 +1198,7 @@ let handle_cgi c nd env (script : Cgi.Script.t) =
                   (Cache.Directory.delete (rdir nd) ~node:nd.id key : bool);
                 exec_and_respond c nd env script key ~ctl)
         | Some meta -> fetch_remote c nd env script key ~ctl ~t0 meta)
+  end
 
 let handle c nd env =
   with_span c nd "handle" ~parent:env.span
@@ -1303,7 +1414,11 @@ let crash nd =
     (* Buffered-but-unflushed directory updates die with the node; peers
        learn of the lost entries via false hits / anti-entropy, exactly
        like updates lost mid-broadcast. *)
-    nd.batch_buf <- []
+    nd.batch_buf <- [];
+    (* The freshness tracker's rate estimates describe a cache that no
+       longer exists; restart from a cold controller, like the store. *)
+    Option.iter Cache.Freshness.clear nd.fresh;
+    Hashtbl.reset nd.refreshed
   end
 
 let restart nd =
@@ -1527,6 +1642,11 @@ let purge_daemon c nd =
   let rec loop () =
     if not nd.stop then begin
       Sim.Engine.delay c.cfg.Config.purge_interval;
+      (* Trim the freshness tracker's cold keys on the same cadence; pure
+         host-side bookkeeping, so it perturbs nothing. *)
+      Option.iter
+        (fun f -> ignore (Cache.Freshness.sweep f ~now:(now ()) : int))
+        nd.fresh;
       let expired = Cache.Store.purge_expired nd.store in
       List.iter
         (fun (m : Cache.Meta.t) ->
@@ -1541,6 +1661,133 @@ let purge_daemon c nd =
             send_broadcasts c nd
               [ Cluster.Msg.Delete { node = nd.id; key = m.Cache.Meta.key } ])
         expired;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Proactive refresh (the freshness plane's daemon).
+
+   Once per [refresh_interval] each node scans its own store for entries
+   expiring within two intervals and re-executes the hot, expensive ones
+   off the critical path, spending at most [refresh_budget] executions
+   per second (token bucket with one interval of carry). A refreshed
+   entry is re-inserted with a fresh TTL (adaptive or fixed, like any
+   insert) and re-announced to the directory, so the next client hit
+   serves a young result instead of missing and paying the recomputation
+   — refresh_saved_ms credits exactly those displaced executions
+   (note_hit_freshness pops the pending credit on the first hit).
+
+   Candidate order is deterministic: most expensive first (the biggest
+   saving per token), then soonest-expiring, then key. "Hot" means
+   accessed within [freshness_window]; an entry nobody touched recently
+   would spend budget on a result nobody may ask for again. Demand and
+   failure draws come from [refresh_rng] — its own salted stream — so
+   the daemon never perturbs request-path randomness; with the budget at
+   zero the daemon is not even spawned and runs are byte-identical to
+   builds without it. *)
+
+(* Cache keys are "METHOD /path?query" (Http.Request.cache_key); recover
+   the URI so the refresh can redraw the script's demand and output size
+   with the original query parameters. *)
+let uri_of_cache_key key =
+  match String.index_opt key ' ' with
+  | None -> None
+  | Some i -> (
+      let target = String.sub key (i + 1) (String.length key - i - 1) in
+      match Http.Uri.parse target with Ok uri -> Some uri | Error _ -> None)
+
+(* Re-execute one near-expiry entry and re-insert its result. Returns
+   [true] when a budget token was spent (the CGI actually ran). *)
+let refresh_entry c nd key =
+  match uri_of_cache_key key with
+  | None -> false
+  | Some uri -> (
+      match Cgi.Registry.resolve c.registry uri.Http.Uri.path with
+      | None | Some (Cgi.Registry.Static_file _) -> false
+      | Some (Cgi.Registry.Cgi_script script) ->
+          let ctl = cache_ctl_for c script Http.Meth.Get in
+          if not ctl.attempt then false
+          else begin
+            with_span c nd "refresh.exec"
+              ~attrs:[ ("script", script.Cgi.Script.name) ]
+            @@ fun () ->
+            let query = uri.Http.Uri.query in
+            let demand =
+              Cgi.Cost.demand_for script.Cgi.Script.cost nd.refresh_rng ~query
+            in
+            Sim.Cpu.consume nd.cpu
+              ((script.Cgi.Script.cost.Cgi.Cost.fork_exec
+               *. c.cfg.Config.model.Config.cgi_overhead_factor)
+              +. demand);
+            let failed =
+              script.Cgi.Script.failure_rate > 0.
+              && Sim.Rng.float nd.refresh_rng < script.Cgi.Script.failure_rate
+            in
+            (if (not failed) && demand >= ctl.threshold then begin
+               let out_bytes =
+                 Cgi.Cost.output_bytes_for script.Cgi.Script.cost ~query
+               in
+               let body =
+                 Cgi.Script.output_sized script ~key ~bytes:out_bytes
+               in
+               let msgs = insert_result c nd ~key ~body ~exec_time:demand ctl.ttl in
+               incr nd K.refreshes;
+               Hashtbl.replace nd.refreshed key demand;
+               send_broadcasts c nd msgs
+             end);
+            true
+          end)
+
+let refresh_daemon c nd ~budget ~interval =
+  let credit = ref 0. in
+  let rec loop () =
+    if not nd.stop then begin
+      Sim.Engine.delay interval;
+      if nd.up && not nd.stop then begin
+        (* Token bucket: earn one interval's worth per tick, carry at most
+           one more interval's worth, so an idle period cannot bank an
+           unbounded burst. *)
+        credit :=
+          Float.min (2. *. budget *. interval) (!credit +. (budget *. interval));
+        let hot_window = c.cfg.Config.freshness_window in
+        let candidates =
+          Cache.Store.expiring nd.store ~now:(now ()) ~horizon:(2. *. interval)
+        in
+        let worthwhile =
+          List.filter
+            (fun (cand : Cache.Store.candidate) ->
+              cand.Cache.Store.c_hits > 0
+              && now () -. cand.Cache.Store.c_last_access <= hot_window)
+            candidates
+          |> List.sort (fun (a : Cache.Store.candidate) b ->
+                 let c =
+                   Float.compare
+                     b.Cache.Store.c_entry.Cache.Store.meta.Cache.Meta.exec_time
+                     a.Cache.Store.c_entry.Cache.Store.meta.Cache.Meta.exec_time
+                 in
+                 if c <> 0 then c
+                 else
+                   let c =
+                     Float.compare a.Cache.Store.c_expires
+                       b.Cache.Store.c_expires
+                   in
+                   if c <> 0 then c
+                   else
+                     String.compare
+                       a.Cache.Store.c_entry.Cache.Store.meta.Cache.Meta.key
+                       b.Cache.Store.c_entry.Cache.Store.meta.Cache.Meta.key)
+        in
+        List.iter
+          (fun (cand : Cache.Store.candidate) ->
+            if !credit >= 1. && nd.up && not nd.stop then
+              if
+                refresh_entry c nd
+                  cand.Cache.Store.c_entry.Cache.Store.meta.Cache.Meta.key
+              then credit := !credit -. 1.)
+          worthwhile
+      end;
       loop ()
     end
   in
@@ -1572,11 +1819,19 @@ let start c =
       match c.cfg.Config.cache_mode with
       | Config.Disabled -> ()
       | Config.Standalone ->
-          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd)
+          Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd);
+          if c.cfg.Config.refresh_budget > 0. then
+            Sim.Engine.spawn c.engine (fun () ->
+                refresh_daemon c nd ~budget:c.cfg.Config.refresh_budget
+                  ~interval:c.cfg.Config.refresh_interval)
       | Config.Cooperative ->
           Sim.Engine.spawn c.engine (fun () -> info_daemon c nd);
           Sim.Engine.spawn c.engine (fun () -> data_server c nd);
           Sim.Engine.spawn c.engine (fun () -> purge_daemon c nd);
+          if c.cfg.Config.refresh_budget > 0. then
+            Sim.Engine.spawn c.engine (fun () ->
+                refresh_daemon c nd ~budget:c.cfg.Config.refresh_budget
+                  ~interval:c.cfg.Config.refresh_interval);
           if sharded c then begin
             Sim.Engine.spawn c.engine (fun () -> lookup_server c nd);
             if c.cfg.Config.hotspot_threshold > 0. then
@@ -1727,6 +1982,7 @@ let invalidate_script c ~script =
 let node_active nd = nd.active
 let node_up nd = nd.up
 let fault c = c.fault
+let staleness_histogram c = c.staleness
 
 (* Fold each node's directory hint statistics into its counters. Not
    cumulative-safe: call once, after the run, before reading counters

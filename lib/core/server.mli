@@ -234,6 +234,18 @@ module K : sig
       home elsewhere. *)
   val shard_handoff_reannounced : string
   val shard_pruned : string
+
+  (** Adaptive freshness / proactive refresh: [refreshes] counts entries
+      re-executed and re-inserted by the refresh daemon;
+      [refresh_saved_ms] accumulates, in integer milliseconds, the
+      refresh execution time that displaced a client-visible recompute
+      (credited on the first hit after each refresh, at the owner);
+      [stale_served] counts adaptive-mode hits whose content age exceeded
+      the configured [default_ttl] anchor — results a fixed-TTL cache
+      would have refused to serve. *)
+  val refreshes : string
+  val refresh_saved_ms : string
+  val stale_served : string
 end
 
 (** [record_hint_stats cluster] folds each node's directory hint
@@ -258,3 +270,10 @@ val hit_latency : cluster -> Metrics.Sample.t
     directory-lookup round-trip waits (sharded plane; timeouts included
     at their full timeout value). Empty on the replicated plane. *)
 val forward_wait_histogram : cluster -> Metrics.Histogram.t
+
+(** [staleness_histogram cluster] is the distribution of content ages at
+    cache hits (seconds since the entry was created, over
+    {!Metrics.Histogram.age_bounds}), across all nodes and both hit
+    kinds. Collected host-side in every mode — the freshness ablation's
+    staleness metric. *)
+val staleness_histogram : cluster -> Metrics.Histogram.t

@@ -19,6 +19,15 @@ let default_bounds =
    the first bucket). *)
 let depth_bounds = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
+(* 1-2-5 per decade from 10 ms to 1000 s: content ages at cache hits,
+   which live where TTLs do (fractions of a second to minutes) rather
+   than at the microsecond scale of [default_bounds]. *)
+let age_bounds =
+  [|
+    0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.;
+    500.; 1000.;
+  |]
+
 let pow2_bounds ?(max_exp = 20) () =
   if max_exp < 0 then invalid_arg "Histogram.pow2_bounds: max_exp must be >= 0";
   Array.init (max_exp + 2) (fun i ->

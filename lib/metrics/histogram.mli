@@ -17,6 +17,11 @@ val default_bounds : float array
 (** Powers of two from 0 to 256, for integer queue-depth observations. *)
 val depth_bounds : float array
 
+(** Log-spaced (1-2-5 per decade) seconds from 10 ms to 1000 s — sized
+    for content ages at cache hits, which live at the TTL scale rather
+    than the wait-time scale of {!default_bounds}. *)
+val age_bounds : float array
+
 (** [pow2_bounds ?max_exp ()] is [0, 1, 2, 4, …, 2^max_exp] (default
     [max_exp = 20], topping out at ~1M) — for wide integer counts such
     as per-node directory entries in the shard-imbalance histogram.
