@@ -9,6 +9,10 @@
      dune exec bench/main.exe -- micro        Bechamel suite + wall-clock
                                               end-to-end run (also writes
                                               BENCH_perf.json)
+     dune exec bench/main.exe -- --jobs 4 ablation-dirmode
+                                              sweep-parallel ablations on 4
+                                              domains (0 = all cores);
+                                              output identical to --jobs 1
    Targets: table1 table2 figure3 figure4 table3 table4 table5 table6
             ablation-policy ablation-locking ablation-consistency
             ablation-protocol ablation-routing ablation-threshold
@@ -22,6 +26,11 @@ let seed = 42
 let csv_dir : string option ref = ref None
 let current_target = ref ""
 let csv_counter = ref 0
+
+(* --jobs N: domain count for the sweep-parallel ablations (A11/A12/A13).
+   Sweep results are merged in point order, so tables are byte-identical
+   for any value; 0 means "ask the runtime". *)
+let jobs = ref 1
 
 let emit t =
   Metrics.Table.print t;
@@ -596,7 +605,7 @@ let bench_ablation_batching () =
   emit t
 
 let bench_ablation_dirmode () =
-  let rows = Swala.Experiments.ablation_dirmode ~seed () in
+  let rows = Swala.Experiments.ablation_dirmode ~jobs:!jobs ~seed () in
   let t =
     Metrics.Table.create
       ~title:
@@ -641,7 +650,7 @@ let bench_ablation_dirmode () =
   emit t
 
 let bench_ablation_scenario () =
-  let rows = Swala.Experiments.ablation_scenario ~seed () in
+  let rows = Swala.Experiments.ablation_scenario ~jobs:!jobs ~seed () in
   let t =
     Metrics.Table.create
       ~title:
@@ -693,7 +702,7 @@ let bench_ablation_scenario () =
   emit t
 
 let bench_ablation_freshness () =
-  let rows = Swala.Experiments.ablation_freshness ~seed () in
+  let rows = Swala.Experiments.ablation_freshness ~jobs:!jobs ~seed () in
   let t =
     Metrics.Table.create
       ~title:
@@ -792,8 +801,14 @@ let micro_tests () =
    future optimisation PRs have a perf trajectory to compare against. *)
 let run_perf () =
   let n_requests = 2_000 in
+  let out_bytes =
+    match Sys.getenv_opt "SWALA_BENCH_OUT_BYTES" with
+    | Some v -> int_of_string v
+    | None -> 4096
+  in
   let trace =
-    Workload.Synthetic.coop ~seed ~n:n_requests ~n_unique:1400 ~locality:0.08 ()
+    Workload.Synthetic.coop ~seed ~n:n_requests ~n_unique:1400 ~locality:0.08
+      ~out_bytes ()
   in
   let cfg =
     Swala.Config.make ~n_nodes:4 ~cache_mode:Swala.Config.Cooperative ~seed ()
@@ -801,16 +816,31 @@ let run_perf () =
   let go () = Swala.Cluster_runner.run cfg ~trace ~n_streams:16 () in
   (* One throwaway run warms the minor heap and code paths. *)
   ignore (go () : Swala.Cluster_runner.result);
-  let t0 = Unix.gettimeofday () in
-  let r = go () in
-  let wall = Unix.gettimeofday () -. t0 in
+  (* The run is deterministic, so wall-time spread across repeats is pure
+     host noise; report the fastest of five to keep the committed
+     baseline comparable across noisy machines (CI runners included). *)
+  let best_wall = ref infinity and best_r = ref None and minor = ref 0. in
+  for _ = 1 to 5 do
+    let m0 = (Gc.quick_stat ()).Gc.minor_words in
+    let t0 = Unix.gettimeofday () in
+    let r = go () in
+    let wall = Unix.gettimeofday () -. t0 in
+    if wall < !best_wall then begin
+      best_wall := wall;
+      best_r := Some r;
+      minor := (Gc.quick_stat ()).Gc.minor_words -. m0
+    end
+  done;
+  let r = Option.get !best_r in
+  let wall = !best_wall in
   let events = r.Swala.Cluster_runner.n_events in
   let rps = float_of_int n_requests /. wall in
   let eps = float_of_int events /. wall in
+  let words_per_event = !minor /. float_of_int events in
   Printf.printf
     "End-to-end (4 nodes, %d requests, %d sim events): %.3f s wall -> %.0f \
-     requests/s, %.0f events/s\n"
-    n_requests events wall rps eps;
+     requests/s, %.0f events/s, %.1f minor words/event\n"
+    n_requests events wall rps eps words_per_event;
   let module J = Metrics.Json in
   (* Simulated response-time quantiles ride along (in ms) so a perf PR that
      accidentally changes behaviour — not just speed — shows up here too. *)
@@ -831,6 +861,7 @@ let run_perf () =
          ("wall_seconds", J.Float wall);
          ("requests_per_sec_wall", J.Float rps);
          ("events_per_sec_wall", J.Float eps);
+         ("gc_minor_words_per_event", J.Float words_per_event);
          ("p50_ms", ms 0.5);
          ("p99_ms", ms 0.99);
          ( "max_ms",
@@ -930,17 +961,25 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  let args =
-    match args with
+  let rec parse_flags = function
     | "--csv" :: dir :: rest ->
         if not (Sys.file_exists dir && Sys.is_directory dir) then begin
           Printf.eprintf "--csv: %s is not a directory\n" dir;
           exit 2
         end;
         csv_dir := Some dir;
-        rest
+        parse_flags rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 0 ->
+            jobs := (if j = 0 then Sim.Sweep.default_jobs () else j)
+        | _ ->
+            Printf.eprintf "--jobs: expected a non-negative integer, got %S\n" n;
+            exit 2);
+        parse_flags rest
     | other -> other
   in
+  let args = parse_flags args in
   let requested =
     match args with [] -> List.map fst all_targets | some -> some
   in

@@ -1,0 +1,114 @@
+(* perf_gate: hold the line on simulator throughput.
+
+   Compares a freshly measured BENCH_perf.json (written by
+   [bench/main.exe micro]) against the committed baseline and fails when
+   the measured metric falls below [min_ratio] x baseline. The ratio is
+   deliberately generous in CI — shared runners are noisy — so the gate
+   catches structural regressions (an accidental O(n) heap, a closure
+   back on the hot path), not scheduling jitter.
+
+   Usage:
+     perf_gate --baseline FILE --current FILE [--min-ratio R] [--key K]
+
+   Defaults: min-ratio 0.5, key events_per_sec_wall.
+   Exit status: 0 pass, 1 regression, 2 usage or parse error.
+
+   The JSON "parser" below only needs to pull one numeric field out of
+   the flat object bench emits, so it scans for the quoted key and reads
+   the number after the colon — no JSON library in the repo, and none
+   needed for this. *)
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error e ->
+      Printf.eprintf "perf_gate: %s\n" e;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let number_field ~path json key =
+  let pat = Printf.sprintf "\"%s\"" key in
+  let plen = String.length pat and n = String.length json in
+  let fail () =
+    Printf.eprintf "perf_gate: %s: no numeric field %S\n" path key;
+    exit 2
+  in
+  (* Position just past the first occurrence of the quoted key. *)
+  let rec find i =
+    if i + plen > n then fail ()
+    else if String.sub json i plen = pat then i + plen
+    else find (i + 1)
+  in
+  let i = find 0 in
+  let rec skip i =
+    if i < n && (json.[i] = ' ' || json.[i] = ':' || json.[i] = '\n') then
+      skip (i + 1)
+    else i
+  in
+  let start = skip i in
+  let rec stop i =
+    if
+      i < n
+      && (match json.[i] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    then stop (i + 1)
+    else i
+  in
+  let stop = stop start in
+  if stop = start then fail ()
+  else
+    match float_of_string_opt (String.sub json start (stop - start)) with
+    | Some v -> v
+    | None -> fail ()
+
+let () =
+  let baseline = ref "" and current = ref "" in
+  let min_ratio = ref 0.5 and key = ref "events_per_sec_wall" in
+  let rec parse = function
+    | "--baseline" :: v :: rest -> baseline := v; parse rest
+    | "--current" :: v :: rest -> current := v; parse rest
+    | "--min-ratio" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r > 0. -> min_ratio := r; parse rest
+        | _ ->
+            Printf.eprintf "perf_gate: --min-ratio: bad value %S\n" v;
+            exit 2)
+    | "--key" :: v :: rest -> key := v; parse rest
+    | [] -> ()
+    | arg :: _ ->
+        Printf.eprintf
+          "perf_gate: unknown argument %S\n\
+           usage: perf_gate --baseline FILE --current FILE [--min-ratio R] \
+           [--key K]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline = "" || !current = "" then begin
+    Printf.eprintf
+      "usage: perf_gate --baseline FILE --current FILE [--min-ratio R] \
+       [--key K]\n";
+    exit 2
+  end;
+  let b = number_field ~path:!baseline (read_file !baseline) !key in
+  let c = number_field ~path:!current (read_file !current) !key in
+  if b <= 0. then begin
+    Printf.eprintf "perf_gate: baseline %s is %g; nothing to gate on\n" !key b;
+    exit 2
+  end;
+  let ratio = c /. b in
+  Printf.printf "perf_gate: %s baseline %.0f, current %.0f, ratio %.3f (min %.3f)\n"
+    !key b c ratio !min_ratio;
+  if ratio < !min_ratio then begin
+    Printf.printf
+      "perf_gate: FAIL — throughput regressed beyond tolerance; if this is \
+       a deliberate tradeoff, re-run `bench/main.exe micro` and commit the \
+       new BENCH_perf.json\n";
+    exit 1
+  end
+  else print_endline "perf_gate: PASS"

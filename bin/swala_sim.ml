@@ -398,7 +398,27 @@ let metrics_out_t =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:
           "Write the run's counters, response-time summaries and wait \
-           histograms as JSON to FILE.")
+           histograms as JSON to FILE. With $(b,--seeds) N > 1, one file \
+           per seed is written as FILE.SEED.")
+
+let seeds_t =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:
+          "Replay $(docv) consecutive seeds starting at $(b,--seed), \
+           printing one summary line per seed in seed order. Each seed is \
+           an independent deterministic run; combine with $(b,--jobs) to \
+           spread the sweep over domains.")
+
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"M"
+        ~doc:
+          "Domains to run a $(b,--seeds) sweep on (0 = all cores). \
+           Results are merged in seed order, so output is byte-identical \
+           for every value of $(docv).")
 
 (* Time-varying scenario options (see Workload.Scenario). *)
 
@@ -652,6 +672,79 @@ let resolve_scenario ~preset ~duration ~flash ~diurnal ~geo ~churn_rate
   in
   (scenario, churn)
 
+(* --seeds N: replay seeds seed..seed+N-1, one fresh engine per run,
+   spread over --jobs domains. Workers return fully formatted report
+   lines (and metrics JSON payloads) and the main domain prints/writes
+   them in seed order, so stdout and any --metrics-out files are
+   byte-identical whatever the parallelism. *)
+let run_multi ~seeds ~jobs ~seed ~workload ~requests ~nodes ~mode ~policy
+    ~capacity ~streams ~router ~metrics_out ~cfg_of =
+  let jobs = if jobs = 0 then Sim.Sweep.default_jobs () else jobs in
+  if jobs < 1 then begin
+    prerr_endline "swala_sim run: --jobs must be >= 0";
+    exit 2
+  end;
+  Printf.printf
+    "workload=%s requests=%d nodes=%d mode=%s policy=%s capacity=%d \
+     streams=%d seeds=%d..%d\n"
+    workload requests nodes
+    (Swala.Config.cache_mode_to_string mode)
+    (Cache.Policy.to_string policy)
+    capacity streams seed (seed + seeds - 1);
+  let seed_list = Array.init seeds (fun i -> seed + i) in
+  let results =
+    try
+      Sim.Sweep.map ~jobs
+        (fun sd ->
+          match trace_of_workload ~workload ~seed:sd ~requests with
+          | Error e -> failwith e
+          | Ok trace ->
+              let r =
+                Swala.Cluster_runner.run (cfg_of sd) ~trace ~n_streams:streams
+                  ~router ()
+              in
+              let fmt = function
+                | None -> "-"
+                | Some v -> Printf.sprintf "%.4f" v
+              in
+              let resp = r.Swala.Cluster_runner.response in
+              let line =
+                Printf.sprintf
+                  "seed %-5d makespan %8.2f s  mean %.4f s  p50/p95 %s/%s s  \
+                   hits %d (%.1f%% of CGI)  events %d\n"
+                  sd r.Swala.Cluster_runner.duration
+                  (Swala.Cluster_runner.mean_response r)
+                  (fmt (Metrics.Sample.median_opt resp))
+                  (fmt (Metrics.Sample.quantile_opt resp 0.95))
+                  r.Swala.Cluster_runner.hits
+                  (100. *. r.Swala.Cluster_runner.hit_ratio)
+                  r.Swala.Cluster_runner.n_events
+              in
+              let json =
+                match metrics_out with
+                | None -> None
+                | Some _ -> Some (Swala.Cluster_runner.result_to_json r)
+              in
+              (line, json))
+        seed_list
+    with Sim.Sweep.Worker (Failure e, _) ->
+      prerr_endline e;
+      exit 2
+  in
+  Array.iteri
+    (fun i (line, json) ->
+      print_string line;
+      match (metrics_out, json) with
+      | Some path, Some j ->
+          let path = Printf.sprintf "%s.%d" path seed_list.(i) in
+          let oc = open_out path in
+          output_string oc j;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote metrics JSON to %s\n" path
+      | _ -> ())
+    results
+
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
@@ -660,66 +753,81 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
     hotspot_threshold hotspot_window hotspot_replicas freshness default_ttl
     refresh_budget refresh_interval scenario_name scenario_duration flash_crowd
     diurnal geo_tiers churn_rate churn_downtime churn_fixed trace_file
-    trace_breakdown metrics_out =
+    trace_breakdown metrics_out seeds jobs =
+  if seeds < 1 then begin
+    prerr_endline "swala_sim run: --seeds must be >= 1";
+    exit 2
+  end;
+  if seeds > 1 && (trace_file <> None || trace_breakdown) then begin
+    prerr_endline
+      "swala_sim run: --trace-file/--trace-breakdown are single-run \
+       reports; not available with --seeds > 1";
+    exit 2
+  end;
+  let rules =
+    match rules_file with
+    | None -> Swala.Rules.empty
+    | Some path -> (
+        match Swala.Rules.load path with
+        | Ok r -> r
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 2)
+  in
+  let scenario, churn =
+    try
+      resolve_scenario ~preset:scenario_name ~duration:scenario_duration
+        ~flash:flash_crowd ~diurnal ~geo:geo_tiers ~churn_rate
+        ~churn_downtime ~churn_fixed
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let fault =
+    if
+      drop_rate = 0. && delay_rate = 0. && crash_mtbf = None
+      && partitions = [] && churn = None
+    then None
+    else
+      Some
+        (Sim.Fault.make ~drop:drop_rate ~delay:delay_rate ~delay_mean
+           ?node:
+             (Option.map
+                (fun mtbf -> { Sim.Fault.mtbf; mttr = crash_mttr })
+                crash_mtbf)
+           ~partitions ?churn ~horizon:fault_horizon ())
+  in
+  let cfg_of seed =
+    Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
+      ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
+      ~fetch_backoff ~anti_entropy_period ~batch_max
+      ~batch_flush_interval ~dir_hints ~dir_mode ~shard_vnodes
+      ~shard_lookup_cache ~shard_pos_ttl ~shard_neg_ttl
+      ~hotspot_threshold ~hotspot_window ~hotspot_replicas ~freshness
+      ?default_ttl:(Option.map Option.some default_ttl)
+      ~refresh_budget ~refresh_interval ~scenario
+      ~trace:(trace_file <> None || trace_breakdown)
+      ~seed ()
+  in
+  (* Validation otherwise happens inside the run; surface bad flag
+     combinations (e.g. faults without --fetch-timeout) as a clean
+     error instead of a backtrace. *)
+  (try Swala.Config.validate (cfg_of seed)
+   with Invalid_argument msg ->
+     prerr_endline msg;
+     exit 2);
+  if seeds > 1 then
+    run_multi ~seeds ~jobs ~seed ~workload ~requests ~nodes ~mode ~policy
+      ~capacity ~streams ~router ~metrics_out ~cfg_of
+  else
   match trace_of_workload ~workload ~seed ~requests with
   | Error e ->
       prerr_endline e;
       exit 2
   | Ok trace ->
-      let rules =
-        match rules_file with
-        | None -> Swala.Rules.empty
-        | Some path -> (
-            match Swala.Rules.load path with
-            | Ok r -> r
-            | Error e ->
-                Printf.eprintf "%s: %s\n" path e;
-                exit 2)
-      in
-      let scenario, churn =
-        try
-          resolve_scenario ~preset:scenario_name ~duration:scenario_duration
-            ~flash:flash_crowd ~diurnal ~geo:geo_tiers ~churn_rate
-            ~churn_downtime ~churn_fixed
-        with Invalid_argument msg ->
-          prerr_endline msg;
-          exit 2
-      in
-      let fault =
-        if
-          drop_rate = 0. && delay_rate = 0. && crash_mtbf = None
-          && partitions = [] && churn = None
-        then None
-        else
-          Some
-            (Sim.Fault.make ~drop:drop_rate ~delay:delay_rate ~delay_mean
-               ?node:
-                 (Option.map
-                    (fun mtbf -> { Sim.Fault.mtbf; mttr = crash_mttr })
-                    crash_mtbf)
-               ~partitions ?churn ~horizon:fault_horizon ())
-      in
-      let cfg =
-        Swala.Config.make ~n_nodes:nodes ~cache_mode:mode ~policy
-          ~cache_capacity:capacity ~rules ~fault ~fetch_timeout ~fetch_retries
-          ~fetch_backoff ~anti_entropy_period ~batch_max
-          ~batch_flush_interval ~dir_hints ~dir_mode ~shard_vnodes
-          ~shard_lookup_cache ~shard_pos_ttl ~shard_neg_ttl
-          ~hotspot_threshold ~hotspot_window ~hotspot_replicas ~freshness
-          ?default_ttl:(Option.map Option.some default_ttl)
-          ~refresh_budget ~refresh_interval ~scenario
-          ~trace:(trace_file <> None || trace_breakdown)
-          ~seed ()
-      in
-      (* Validation otherwise happens inside the run; surface bad flag
-         combinations (e.g. faults without --fetch-timeout) as a clean
-         error instead of a backtrace. *)
-      (try Swala.Config.validate cfg
-       with Invalid_argument msg ->
-         prerr_endline msg;
-         exit 2);
       let result =
-        Swala.Cluster_runner.run cfg ~trace ~n_streams:streams ~router ()
+        Swala.Cluster_runner.run (cfg_of seed) ~trace ~n_streams:streams
+          ~router ()
       in
       let summary = Workload.Analyzer.summarize trace in
       Printf.printf
@@ -847,7 +955,7 @@ let run_cmd =
       $ refresh_budget_t $ refresh_interval_t $ scenario_t
       $ scenario_duration_t $ flash_crowd_t $ diurnal_t $ geo_tiers_t
       $ churn_rate_t $ churn_downtime_t $ churn_fixed_t $ trace_file_t
-      $ trace_breakdown_t $ metrics_out_t)
+      $ trace_breakdown_t $ metrics_out_t $ seeds_t $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)

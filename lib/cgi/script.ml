@@ -19,6 +19,16 @@ let null =
   make ~name:"/cgi-bin/nullcgi"
     (Cost.make ~output_bytes:64 (Cost.Fixed 0.))
 
+(* The filler at offset [i] is [32 + (h + i) mod 95] — one full cycle of
+   the printable ASCII range, phase-shifted by the key hash. Rather than
+   computing it per character, blit 95-byte windows out of two
+   concatenated cycles: [pattern.[j] = 32 + j mod 95] for [j < 190], so
+   the window starting at [h mod 95] spells the whole body. This is the
+   bulk of every simulated CGI execution (bodies are kilobytes), and
+   blitting is ~50x cheaper than the per-char loop it replaces. *)
+let pattern =
+  String.init 190 (fun j -> Char.chr (32 + (j mod 95)))
+
 (* Deterministic body: experiments compare bodies fetched from cache with
    bodies from re-execution, so identical keys must yield identical text. *)
 let output_sized t ~key ~bytes =
@@ -28,10 +38,13 @@ let output_sized t ~key ~bytes =
   Buffer.add_string buf "<html><body><!-- ";
   Buffer.add_string buf t.name;
   Buffer.add_string buf (Printf.sprintf " h=%08x -->" h);
-  for i = 0 to payload_len - 1 do
-    (* Cheap deterministic filler. *)
-    Buffer.add_char buf (Char.chr (32 + ((h + i) mod 95)))
+  let start = h mod 95 in
+  let i = ref 0 in
+  while payload_len - !i >= 95 do
+    Buffer.add_substring buf pattern start 95;
+    i := !i + 95
   done;
+  Buffer.add_substring buf pattern start (payload_len - !i);
   Buffer.add_string buf "</body></html>";
   Buffer.contents buf
 

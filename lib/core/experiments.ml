@@ -770,7 +770,7 @@ type dirmode_row = {
   mean_response_dm : float;
 }
 
-let ablation_dirmode ?(seed = default_seed)
+let ablation_dirmode ?jobs ?(seed = default_seed)
     ?(node_counts = [ 8; 64; 256; 512 ]) ?(n_requests = 3000) () =
   (* A hot-headed read-mostly mix: a quarter of the requests are unique
      inserts (metadata writes), the rest re-reference a 24-key Zipf head
@@ -791,10 +791,16 @@ let ablation_dirmode ?(seed = default_seed)
   let variants =
     [ "replicated"; "batched"; "sharded"; "sharded+hotspot" ]
   in
-  List.concat_map
-    (fun nodes ->
-      List.map
-        (fun variant ->
+  (* Each (nodes, variant) point is an independent deterministic run, so
+     the grid sweeps on a domain pool; [Sweep.map_list] keeps point
+     order, so output is identical whatever [jobs] is. *)
+  let points =
+    List.concat_map
+      (fun nodes -> List.map (fun variant -> (nodes, variant)) variants)
+      node_counts
+  in
+  Sim.Sweep.map_list ?jobs
+    (fun (nodes, variant) ->
           let cfg =
             match variant with
             | "replicated" ->
@@ -843,8 +849,7 @@ let ablation_dirmode ?(seed = default_seed)
               Metrics.Sample.mean r.Cluster_runner.hit_latency;
             mean_response_dm = Cluster_runner.mean_response r;
           })
-        variants)
-    node_counts
+    points
 
 (* ------------------------------------------------------------------ *)
 (* A12 — time-varying scenario: flash crowd + rolling churn *)
@@ -864,7 +869,7 @@ type scenario_row = {
   net_lost_sc : int;
 }
 
-let ablation_scenario ?(seed = default_seed) ?(n_nodes = 8)
+let ablation_scenario ?jobs ?(seed = default_seed) ?(n_nodes = 8)
     ?(n_requests = 4000) () =
   (* The regime PR 5's sharded plane was built for, applied as one run:
      a hot-headed coop mix whose middle third is hit by a flash crowd
@@ -889,7 +894,8 @@ let ablation_scenario ?(seed = default_seed) ?(n_nodes = 8)
   let churn = Sim.Fault.churn ~rate:0.3 ~downtime:1.5 ~poisson:true () in
   let fault = Sim.Fault.make ~churn ~horizon:120. () in
   let variants = [ "replicated"; "sharded+hotspot" ] in
-  List.concat_map
+  List.concat
+  @@ Sim.Sweep.map_list ?jobs
     (fun variant ->
       let cfg =
         match variant with
@@ -976,7 +982,7 @@ type freshness_row = {
   mean_response_fr : float;
 }
 
-let ablation_freshness ?(seed = default_seed) ?(n_nodes = 4)
+let ablation_freshness ?jobs ?(seed = default_seed) ?(n_nodes = 4)
     ?(n_requests = 4000) () =
   (* The staleness x recompute-cost x bytes-moved sweep: the A12 flash
      crowd (80 % of CGI traffic onto an 8-key head for the middle of the
@@ -1003,10 +1009,14 @@ let ablation_freshness ?(seed = default_seed) ?(n_nodes = 4)
   let variants =
     [ "fixed-2"; "fixed-8"; "fixed-32"; "adaptive"; "adaptive+refresh" ]
   in
-  List.concat_map
-    (fun dir_mode ->
-      List.map
-        (fun variant ->
+  let points =
+    List.concat_map
+      (fun dir_mode ->
+        List.map (fun variant -> (dir_mode, variant)) variants)
+      [ Config.Replicated; Config.Sharded ]
+  in
+  Sim.Sweep.map_list ?jobs
+    (fun (dir_mode, variant) ->
           let make ?default_ttl ?freshness ?refresh_budget () =
             Config.make ~n_nodes ~cache_mode:Config.Cooperative
               ~cache_threshold:0.001 ~dir_mode ?default_ttl ?freshness
@@ -1048,5 +1058,4 @@ let ablation_freshness ?(seed = default_seed) ?(n_nodes = 4)
               get Server.K.info_bytes + get Server.K.dir_lookup_bytes;
             mean_response_fr = Cluster_runner.mean_response r;
           })
-        variants)
-    [ Config.Replicated; Config.Sharded ]
+    points

@@ -329,9 +329,14 @@ type dirmode_row = {
     and forwards uncached remote lookups there, so messages stop scaling
     with [n] and per-node memory drops to the partition plus a bounded
     lookup cache — at the price of a forwarding round trip on lookup
-    misses, which hotspot replication then claws back for the hot head. *)
+    misses, which hotspot replication then claws back for the hot head.
+
+    [jobs] spreads the (cluster size, variant) grid over that many
+    domains via {!Sim.Sweep}; every point is an independent seeded run,
+    so the returned rows are identical for any [jobs]. Likewise for
+    {!ablation_scenario} and {!ablation_freshness}. *)
 val ablation_dirmode :
-  ?seed:int -> ?node_counts:int list -> ?n_requests:int ->
+  ?jobs:int -> ?seed:int -> ?node_counts:int list -> ?n_requests:int ->
   unit -> dirmode_row list
 
 (** {1 A12 — time-varying scenario: flash crowd + rolling churn} *)
@@ -365,7 +370,8 @@ type scenario_row = {
     keep paying off when the workload and the membership both move?
     Returns rows per variant and phase; see {!scenario_row}. *)
 val ablation_scenario :
-  ?seed:int -> ?n_nodes:int -> ?n_requests:int -> unit -> scenario_row list
+  ?jobs:int -> ?seed:int -> ?n_nodes:int -> ?n_requests:int ->
+  unit -> scenario_row list
 
 (** {1 A13 — freshness: fixed vs adaptive TTL under a flash crowd} *)
 
@@ -396,4 +402,5 @@ type freshness_row = {
     a per-key TTL beat every single whole-cache TTL somewhere on the
     staleness/recompute/bytes frontier? *)
 val ablation_freshness :
-  ?seed:int -> ?n_nodes:int -> ?n_requests:int -> unit -> freshness_row list
+  ?jobs:int -> ?seed:int -> ?n_nodes:int -> ?n_requests:int ->
+  unit -> freshness_row list

@@ -514,7 +514,7 @@ let respond c nd env resp =
   with_span c nd "respond" (fun () ->
       Sim.Net.transfer c.net ~src:nd.id ~dst:env.client
         ~bytes:(transfer_bytes resp));
-  env.resume resp
+  Sim.Engine.resume env.resume resp
 
 (* ------------------------------------------------------------------ *)
 (* Cache operations *)

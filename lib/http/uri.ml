@@ -37,14 +37,35 @@ let safe_char c =
   | '-' | '_' | '.' | '~' | '/' -> true
   | _ -> false
 
+let hex_digit = "0123456789ABCDEF"
+
+let add_escaped buf c =
+  let n = Char.code c in
+  Buffer.add_char buf '%';
+  Buffer.add_char buf hex_digit.[n lsr 4];
+  Buffer.add_char buf hex_digit.[n land 0xf]
+
+(* Encoding runs once per request per hop (cache keys are canonical
+   URIs), and almost every path and query component is already safe, so
+   scan first and return the string unchanged — no buffer, no copy —
+   when nothing needs escaping. *)
+let all_safe ?(extra_unsafe = '\x00') s =
+  let n = String.length s in
+  let rec go i =
+    i >= n || (safe_char s.[i] && s.[i] <> extra_unsafe && go (i + 1))
+  in
+  go 0
+
 let percent_encode s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      if safe_char c then Buffer.add_char buf c
-      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
-    s;
-  Buffer.contents buf
+  if all_safe s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if safe_char c then Buffer.add_char buf c else add_escaped buf c)
+      s;
+    Buffer.contents buf
+  end
 
 let split_on_first ch s =
   match String.index_opt s ch with
@@ -84,13 +105,16 @@ let parse s =
 
 let encode_component s =
   (* For query keys/values: '/' is not safe there. *)
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      if safe_char c && c <> '/' then Buffer.add_char buf c
-      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
-    s;
-  Buffer.contents buf
+  if all_safe ~extra_unsafe:'/' s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if safe_char c && c <> '/' then Buffer.add_char buf c
+        else add_escaped buf c)
+      s;
+    Buffer.contents buf
+  end
 
 let to_string t =
   let path = percent_encode t.path in

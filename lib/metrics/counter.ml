@@ -2,20 +2,24 @@ type t = (string, int ref) Hashtbl.t
 
 let create () = Hashtbl.create 16
 
+(* Counter bumps sit on the per-request fast path; [Hashtbl.find] with
+   the exception fallback avoids the [Some] allocation of [find_opt] on
+   every hit. [cell] lets steady callers hoist the lookup entirely. *)
 let cell t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add t name r;
       r
 
 let add t name k =
-  let r = cell t name in
-  r := !r + k
+  match Hashtbl.find t name with
+  | r -> r := !r + k
+  | exception Not_found -> Hashtbl.add t name (ref k)
 
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let get t name = match Hashtbl.find t name with r -> !r | exception Not_found -> 0
 
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare

@@ -10,7 +10,9 @@ let wait t m =
   Mutex.lock m
 
 let signal t =
-  match Queue.take_opt t.queue with Some resume -> resume () | None -> ()
+  match Queue.take_opt t.queue with
+  | Some r -> Engine.resume r ()
+  | None -> ()
 
 let broadcast t =
   (* Drain into a list first: a woken process could conceivably re-wait, and
@@ -18,6 +20,6 @@ let broadcast t =
   let woken = ref [] in
   Queue.iter (fun r -> woken := r :: !woken) t.queue;
   Queue.clear t.queue;
-  List.iter (fun r -> r ()) (List.rev !woken)
+  List.iter (fun r -> Engine.resume r ()) (List.rev !woken)
 
 let waiters t = Queue.length t.queue

@@ -1,14 +1,17 @@
-type job = { mutable remaining : float; resume : unit Engine.resumer }
+(* [remaining] is a flat [float ref] cell, not a [mutable float] field:
+   [advance] rewrites it for every resident job on every consume/complete,
+   and a float store into this mixed record would box each time. *)
+type job = { remaining : float ref; resume : unit Engine.resumer }
 
 type t = {
   engine : Engine.t;
   cores : int;
   speed : float;
   mutable jobs : job list;
-  mutable last_update : float;
+  last_update : float ref;
+  work_delivered : float ref;
   mutable next_completion : Engine.handle option;
   mutable n_completed : int;
-  mutable work_delivered : float;
   observe : (wait:float -> depth:int -> unit) option;
 }
 
@@ -22,10 +25,10 @@ let create ?(speed = 1.0) ?observe engine ~cores =
     cores;
     speed;
     jobs = [];
-    last_update = Engine.current_time engine;
+    last_update = ref (Engine.current_time engine);
+    work_delivered = ref 0.;
     next_completion = None;
     n_completed = 0;
-    work_delivered = 0.;
     observe;
   }
 
@@ -38,16 +41,17 @@ let rate t =
 (* Charge elapsed wall time against every resident job. *)
 let advance t =
   let now = Engine.current_time t.engine in
-  let dt = now -. t.last_update in
+  let dt = now -. !(t.last_update) in
   if dt > 0. && t.jobs <> [] then begin
     let r = rate t in
     let served = dt *. r in
     List.iter
-      (fun j -> j.remaining <- Float.max 0. (j.remaining -. served))
+      (fun j -> j.remaining := Float.max 0. (!(j.remaining) -. served))
       t.jobs;
-    t.work_delivered <- t.work_delivered +. (served *. float_of_int (List.length t.jobs))
+    t.work_delivered :=
+      !(t.work_delivered) +. (served *. float_of_int (List.length t.jobs))
   end;
-  t.last_update <- now
+  t.last_update := now
 
 let rec reschedule t =
   (match t.next_completion with
@@ -59,7 +63,7 @@ let rec reschedule t =
   | [] -> ()
   | jobs ->
       let min_rem =
-        List.fold_left (fun acc j -> Float.min acc j.remaining) infinity jobs
+        List.fold_left (fun acc j -> Float.min acc !(j.remaining)) infinity jobs
       in
       let r = rate t in
       let dt = Float.max 0. (min_rem /. r) in
@@ -69,11 +73,11 @@ let rec reschedule t =
 and complete t =
   t.next_completion <- None;
   advance t;
-  let done_, rest = List.partition (fun j -> j.remaining <= eps) t.jobs in
+  let done_, rest = List.partition (fun j -> !(j.remaining) <= eps) t.jobs in
   t.jobs <- rest;
   t.n_completed <- t.n_completed + List.length done_;
   (* Resumers schedule their continuations at the current time. *)
-  List.iter (fun j -> j.resume ()) done_;
+  List.iter (fun j -> Engine.resume j.resume ()) done_;
   reschedule t
 
 let consume t demand =
@@ -90,7 +94,7 @@ let consume t demand =
     | None ->
         Engine.suspend (fun resume ->
             advance t;
-            t.jobs <- { remaining = demand; resume } :: t.jobs;
+            t.jobs <- { remaining = ref demand; resume } :: t.jobs;
             reschedule t)
     | Some f ->
         (* Contention delay: elapsed service time beyond the solo (one
@@ -98,7 +102,7 @@ let consume t demand =
         let t0 = Engine.now () in
         Engine.suspend (fun resume ->
             advance t;
-            t.jobs <- { remaining = demand; resume } :: t.jobs;
+            t.jobs <- { remaining = ref demand; resume } :: t.jobs;
             reschedule t);
         let solo = demand /. t.speed in
         f ~wait:(Float.max 0. (Engine.now () -. t0 -. solo)) ~depth
@@ -110,13 +114,13 @@ let completed t = t.n_completed
 let busy_time t =
   (* Include work delivered since the last bookkeeping update. *)
   let now = Engine.current_time t.engine in
-  let dt = now -. t.last_update in
+  let dt = now -. !(t.last_update) in
   let extra =
     if dt > 0. && t.jobs <> [] then
       dt *. rate t *. float_of_int (List.length t.jobs)
     else 0.
   in
-  t.work_delivered +. extra
+  !(t.work_delivered) +. extra
 
 let utilisation t ~elapsed =
   if elapsed <= 0. then 0.

@@ -1,83 +1,136 @@
+(* What an event does when it fires. The common timer paths carry the
+   captured continuation directly instead of a [fun () -> continue k v]
+   thunk, which removes one closure allocation per delay/resume — the
+   two dominant event kinds. [Noop] doubles as the dummy payload of the
+   heap and as the "already fired" marker: executed events have their
+   action overwritten so [cancel] can distinguish fired from pending and
+   so the closure/continuation is released immediately. *)
+type action =
+  | Noop
+  | Call of (unit -> unit)
+  | Resume_unit of (unit, unit) Effect.Deep.continuation
+  | Resume : ('a, unit) Effect.Deep.continuation * 'a -> action
+
 type event = {
-  time : float;
-  seq : int;
   mutable cancelled : bool;
-  action : unit -> unit;
+  (* Shared with the owning engine: the count of cancelled events still
+     sitting in the heap. A ref rather than a back-pointer to the engine
+     so the heap's dummy event can exist before any engine does. *)
+  cancels : int ref;
+  mutable action : action;
 }
 
 type handle = event
 
 type t = {
-  mutable clock : float;
+  (* A [float ref] rather than a [mutable float] field: the ref cell is a
+     flat float record, so the per-event clock advance stores in place
+     instead of boxing a fresh float into this mixed record. *)
+  clock : float ref;
   mutable next_seq : int;
-  mutable cancelled_count : int;
+  (* cancelled-but-not-yet-popped events in [queue]; drives lazy
+     compaction and the [pending] count *)
+  cancels : int ref;
   mutable n_suspended : int;
   mutable n_events : int;  (* events executed by [run], for perf reporting *)
-  queue : event Pqueue.t;
+  queue : event Pqueue.Timed.t;
 }
 
 exception Not_in_process
 exception Deadlock of string
 
-let cmp_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
 let create () =
   {
-    clock = 0.;
+    clock = ref 0.;
     next_seq = 0;
-    cancelled_count = 0;
+    cancels = ref 0;
     n_suspended = 0;
     n_events = 0;
-    queue = Pqueue.create ~cmp:cmp_event;
+    queue =
+      Pqueue.Timed.create
+        ~dummy:{ cancelled = true; cancels = ref 0; action = Noop }
+        ();
   }
 
-let current_time t = t.clock
+let current_time t = !(t.clock)
+
+(* Unvalidated push shared by every scheduling path; sequence numbers are
+   allocated here in call order, which fixes the deterministic tie-break. *)
+let push_event t time ev =
+  Pqueue.Timed.push t.queue ~time ~seq:t.next_seq ev;
+  t.next_seq <- t.next_seq + 1
 
 let schedule_at t time f =
-  if time < t.clock then
+  if time < !(t.clock) then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
-         time t.clock);
-  let ev = { time; seq = t.next_seq; cancelled = false; action = f } in
-  t.next_seq <- t.next_seq + 1;
-  Pqueue.push t.queue ev;
+         time !(t.clock));
+  let ev = { cancelled = false; cancels = t.cancels; action = Call f } in
+  push_event t time ev;
   ev
 
 let schedule_after t dt f =
   if dt < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t (t.clock +. dt) f
+  schedule_at t (!(t.clock) +. dt) f
 
-let cancel ev = ev.cancelled <- true
+let cancel ev =
+  (* Idempotent, and a no-op once the event has fired ([run] clears the
+     action), so the shared counter stays an exact census of cancelled
+     events still in the heap. *)
+  if (not ev.cancelled) && ev.action != Noop then begin
+    ev.cancelled <- true;
+    incr ev.cancels
+  end
 
-let pending t =
-  (* Cancelled events stay in the heap until popped; they are not counted
-     by clients, so we track them separately only for run's deadlock check.
-     Pqueue length is an upper bound; good enough for diagnostics. *)
-  Pqueue.length t.queue
-
+let pending t = Pqueue.Timed.length t.queue - !(t.cancels)
 let suspended t = t.n_suspended
 let events_processed t = t.n_events
 
 (* ------------------------------------------------------------------ *)
+(* Current engine
+
+   [now]/[self_engine] are called on every traced operation and many hot
+   paths; performing an effect for them costs a handler round-trip per
+   call. Instead the running engine is published in a domain-local slot
+   for the duration of [run] — reading it is a flat load, and keeping the
+   slot per-domain is what lets [Sweep] run one engine per domain. *)
+
+let current : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let now () =
+  match !(Domain.DLS.get current) with
+  | Some t -> !(t.clock)
+  | None -> raise Not_in_process
+
+let self_engine () =
+  match !(Domain.DLS.get current) with
+  | Some t -> t
+  | None -> raise Not_in_process
+
+(* ------------------------------------------------------------------ *)
 (* Effects *)
 
-type 'a resumer = 'a -> unit
+type 'a resumer = {
+  mutable fired : bool;
+  r_eng : t;
+  r_k : ('a, unit) Effect.Deep.continuation;
+}
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
-  | Now_eff : float Effect.t
-  | Engine_eff : t Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
   | Get_local : int Effect.t
   | Set_local : int -> unit Effect.t
 
-let now () = try Effect.perform Now_eff with Effect.Unhandled _ -> raise Not_in_process
-
-let self_engine () =
-  try Effect.perform Engine_eff with Effect.Unhandled _ -> raise Not_in_process
+let resume r v =
+  if r.fired then invalid_arg "Engine: resumer called twice";
+  r.fired <- true;
+  let t = r.r_eng in
+  t.n_suspended <- t.n_suspended - 1;
+  push_event t !(t.clock)
+    { cancelled = false; cancels = t.cancels; action = Resume (r.r_k, v) }
 
 let delay dt =
   if dt < 0. then invalid_arg "Engine.delay: negative delay";
@@ -117,10 +170,13 @@ let rec run_process t ?(local = 0) (f : unit -> unit) =
           | Delay dt ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  ignore
-                    (schedule_after t dt (fun () -> continue k ()) : handle))
-          | Now_eff -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
-          | Engine_eff -> Some (fun (k : (a, unit) continuation) -> continue k t)
+                  (* dt >= 0 was validated by [delay] *)
+                  push_event t (!(t.clock) +. dt)
+                    {
+                      cancelled = false;
+                      cancels = t.cancels;
+                      action = Resume_unit k;
+                    })
           | Get_local ->
               Some (fun (k : (a, unit) continuation) -> continue k !local)
           | Set_local v ->
@@ -134,57 +190,81 @@ let rec run_process t ?(local = 0) (f : unit -> unit) =
                   (* The child inherits the local slot's value at fork time
                      (its own copy — later writes don't propagate). *)
                   let inherited = !local in
-                  ignore
-                    (schedule_at t t.clock (fun () ->
-                         run_process t ~local:inherited g)
-                      : handle);
+                  push_event t !(t.clock)
+                    {
+                      cancelled = false;
+                      cancels = t.cancels;
+                      action = Call (fun () -> run_process t ~local:inherited g);
+                    };
                   continue k ())
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   t.n_suspended <- t.n_suspended + 1;
-                  let fired = ref false in
-                  let resume v =
-                    if !fired then
-                      invalid_arg "Engine: resumer called twice";
-                    fired := true;
-                    t.n_suspended <- t.n_suspended - 1;
-                    ignore
-                      (schedule_at t t.clock (fun () -> continue k v) : handle)
-                  in
-                  register resume)
+                  register { fired = false; r_eng = t; r_k = k })
           | _ -> None);
     }
   in
   match_with f () handler
 
-let spawn t f = ignore (schedule_at t t.clock (fun () -> run_process t f) : handle)
+let spawn t f =
+  ignore (schedule_at t !(t.clock) (fun () -> run_process t f) : handle)
+
+(* Compact the heap once cancelled events outnumber live ones (and are
+   numerous enough for the O(n) sweep to be worth it). Survivors keep
+   their (time, seq) keys, so execution order is unaffected. *)
+let compact_threshold = 64
+
+let maybe_compact t =
+  let c = !(t.cancels) in
+  if c > compact_threshold && 2 * c > Pqueue.Timed.length t.queue then begin
+    Pqueue.Timed.compact t.queue ~keep:(fun ev -> not ev.cancelled);
+    t.cancels := 0
+  end
+
+let exec_action = function
+  | Noop -> ()
+  | Call f -> f ()
+  | Resume_unit k -> continue k ()
+  | Resume (k, v) -> continue k v
 
 let run ?until ?(detect_deadlock = false) t =
-  let horizon = until in
-  let rec loop () =
-    match Pqueue.peek t.queue with
-    | None -> ()
-    | Some ev when ev.cancelled ->
-        ignore (Pqueue.pop t.queue);
-        loop ()
-    | Some ev -> (
-        match horizon with
-        | Some h when ev.time > h ->
-            t.clock <- Float.max t.clock h
-        | _ ->
-            ignore (Pqueue.pop t.queue);
-            t.clock <- ev.time;
-            t.n_events <- t.n_events + 1;
-            ev.action ();
-            loop ())
-  in
-  loop ();
-  (match horizon with
-  | Some h when Pqueue.is_empty t.queue -> t.clock <- Float.max t.clock h
-  | _ -> ());
-  if detect_deadlock && Pqueue.is_empty t.queue && t.n_suspended > 0 then
-    raise
-      (Deadlock
-         (Printf.sprintf "%d process(es) still suspended at t=%g" t.n_suspended
-            t.clock))
+  let slot = Domain.DLS.get current in
+  let saved = !slot in
+  slot := Some t;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      let q = t.queue in
+      let rec loop () =
+        maybe_compact t;
+        if not (Pqueue.Timed.is_empty q) then begin
+          let ev = Pqueue.Timed.peek_min q in
+          if ev.cancelled then begin
+            ignore (Pqueue.Timed.pop_min q : event);
+            decr t.cancels;
+            loop ()
+          end
+          else
+            let time = Pqueue.Timed.min_time q in
+            match until with
+            | Some h when time > h -> t.clock := Float.max !(t.clock) h
+            | _ ->
+                ignore (Pqueue.Timed.pop_min q : event);
+                t.clock := time;
+                t.n_events <- t.n_events + 1;
+                let act = ev.action in
+                ev.action <- Noop;
+                exec_action act;
+                loop ()
+        end
+      in
+      loop ();
+      (match until with
+      | Some h when Pqueue.Timed.is_empty q -> t.clock := Float.max !(t.clock) h
+      | _ -> ());
+      if detect_deadlock && Pqueue.Timed.is_empty q && t.n_suspended > 0 then
+        raise
+          (Deadlock
+             (Printf.sprintf "%d process(es) still suspended at t=%g"
+                t.n_suspended !(t.clock))))

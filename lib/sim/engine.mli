@@ -9,7 +9,13 @@
 
     All per-process operations ({!delay}, {!now}, {!spawn_child}, {!suspend},
     {!self_engine}) must be called from inside a process started with
-    {!spawn}; calling them elsewhere raises [Not_in_process]. *)
+    {!spawn}; calling them elsewhere raises [Not_in_process]. ({!now} and
+    {!self_engine} additionally work from bare event actions, since the
+    engine they belong to is unambiguous while {!run} is active.)
+
+    Engines are single-domain values: one engine must only ever be touched
+    from the domain that runs it. Distinct engines in distinct domains are
+    fully independent — that is what {!Sweep} exploits. *)
 
 type t
 (** An engine instance: virtual clock plus event queue. *)
@@ -38,7 +44,10 @@ val schedule_at : t -> float -> (unit -> unit) -> handle
 val schedule_after : t -> float -> (unit -> unit) -> handle
 
 (** [cancel h] prevents a pending event from firing; idempotent, and a no-op
-    if the event already fired. *)
+    if the event already fired. Cancelled events are dropped lazily; once
+    they outnumber live ones the queue is compacted in one O(n) sweep, so
+    cancel-heavy workloads (CPU reschedules, timeouts) cannot bloat the
+    heap. *)
 val cancel : handle -> unit
 
 (** [spawn t f] registers [f] as a new process starting at the current time.
@@ -59,7 +68,8 @@ val pending : t -> int
 val suspended : t -> int
 
 (** [events_processed t] is the cumulative number of events {!run} has
-    executed — the denominator of the wall-clock events/sec benchmark. *)
+    executed — the denominator of the wall-clock events/sec benchmark.
+    Cancelled events are skipped, not executed, so they never count. *)
 val events_processed : t -> int
 
 (** {1 Process-side operations} *)
@@ -95,13 +105,19 @@ val get_local : unit -> int
 (** [set_local v] overwrites the calling process's slot. *)
 val set_local : int -> unit
 
-type 'a resumer = 'a -> unit
-(** A one-shot wake-up function for a suspended process. Calling it schedules
-    the process to resume (with the given value) at the engine's current
-    time. Calling it twice raises [Invalid_argument]. *)
+type 'a resumer
+(** A one-shot wake-up token for a suspended process: the captured
+    continuation plus its engine, preallocated at suspension so waking a
+    process costs no closure. Fire it with {!resume}. *)
+
+(** [resume r v] schedules the suspended process holding [r] to continue
+    (with value [v]) at the engine's current time. Calling it twice on the
+    same token raises [Invalid_argument]. *)
+val resume : 'a resumer -> 'a -> unit
 
 (** [suspend register] blocks the calling process. [register] receives the
     process's {!resumer} and typically stores it in a wait queue; the process
-    resumes when some other event calls the resumer. This is the primitive
-    from which mailboxes, locks and condition variables are built. *)
+    resumes when some other event fires it with {!resume}. This is the
+    primitive from which mailboxes, locks and condition variables are
+    built. *)
 val suspend : ('a resumer -> unit) -> 'a

@@ -10,7 +10,7 @@ let arrive t =
   if t.count = 0 then begin
     let ws = List.rev t.waiters in
     t.waiters <- [];
-    List.iter (fun w -> w ()) ws
+    List.iter (fun w -> Engine.resume w ()) ws
   end
 
 let wait t =

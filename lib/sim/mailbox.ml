@@ -25,7 +25,7 @@ let send t v =
   (match take_waiter t with
   | Some w ->
       w.active <- false;
-      w.resume (Some v)
+      Engine.resume w.resume (Some v)
   | None -> Queue.push v t.items);
   match t.on_depth with None -> () | Some f -> f (Queue.length t.items)
 
@@ -65,7 +65,7 @@ let recv_timeout t ~timeout =
               (Engine.schedule_after engine timeout (fun () ->
                    if w.active then begin
                      w.active <- false;
-                     w.resume None
+                     Engine.resume w.resume None
                    end)
                 : Engine.handle))
       in

@@ -36,7 +36,7 @@ let try_lock t =
 let unlock t =
   if not t.held then invalid_arg "Mutex.unlock: not locked";
   match Queue.take_opt t.queue with
-  | Some resume -> resume () (* lock stays held, ownership transfers *)
+  | Some r -> Engine.resume r () (* lock stays held, ownership transfers *)
   | None -> t.held <- false
 
 let with_lock t f =

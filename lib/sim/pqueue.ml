@@ -1,3 +1,13 @@
+(* Generic binary min-heap plus a specialised timestamped variant.
+
+   Both heaps sift with a "hole" rather than by swapping: the moving
+   element is held aside while ancestors (or descendants) shift into the
+   hole, and is written exactly once at its final position. The
+   comparison sequence — and therefore the resulting array layout and
+   pop order — is identical to the classic swap formulation, so
+   switching costs nothing in reproducibility and saves two writes per
+   level. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
@@ -7,6 +17,7 @@ type 'a t = {
 let create ~cmp = { cmp; data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.data
 
 let grow t x =
   let cap = Array.length t.data in
@@ -17,52 +28,71 @@ let grow t x =
     t.data <- ndata
   end
 
+(* Popping far below capacity halves the array (never under 16 slots).
+   The shrink threshold is a quarter of capacity while growth doubles at
+   full capacity, so a push/pop sequence oscillating around a boundary
+   cannot thrash. Unused slots are filled with a live element, never the
+   popped ones. *)
+let maybe_shrink t =
+  let cap = Array.length t.data in
+  if cap > 16 && t.size * 4 < cap then begin
+    let ncap = Stdlib.max 16 (cap / 2) in
+    let ndata = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
 let push t x =
   grow t x;
+  let data = t.data in
   let i = ref t.size in
   t.size <- t.size + 1;
-  t.data.(!i) <- x;
-  (* Sift up. *)
   let continue_ = ref true in
   while !continue_ && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if t.cmp t.data.(!i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(!i) in
-      t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if t.cmp x data.(parent) < 0 then begin
+      data.(!i) <- data.(parent);
       i := parent
     end
     else continue_ := false
-  done
+  done;
+  data.(!i) <- x
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      (* Sift down. *)
+    let data = t.data in
+    let top = data.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      let moved = data.(n) in
       let i = ref 0 in
       let continue_ = ref true in
       while !continue_ do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then
-          smallest := l;
-        if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then
-          smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
+        let l = (2 * !i) + 1 in
+        if l >= n then continue_ := false
+        else begin
+          let r = l + 1 in
+          let c = if r < n && t.cmp data.(r) data.(l) < 0 then r else l in
+          if t.cmp data.(c) moved < 0 then begin
+            data.(!i) <- data.(c);
+            i := c
+          end
+          else continue_ := false
         end
-        else continue_ := false
-      done
-    end;
+      done;
+      data.(!i) <- moved;
+      (* Clear the freed slot by aliasing a live element, so the popped
+         value itself is no longer reachable from the heap. *)
+      data.(n) <- data.(0);
+      maybe_shrink t
+    end
+    else
+      (* Heap drained: release the whole array. *)
+      t.data <- [||];
     Some top
   end
 
@@ -79,3 +109,155 @@ let drain t f =
         loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Timestamped heap: the engine's event queue.
+
+   Keys are (time, seq) pairs kept in parallel unboxed arrays — a
+   [float array] and an [int array] — beside the payload array, so
+   ordering an event costs two flat array reads and an inlined compare:
+   no closure call, no boxed float per element, no [option] allocation
+   on the pop path. Payload slots freed by [pop_min]/[compact] are
+   overwritten with the dummy element so dead payloads are never
+   retained. *)
+
+module Timed = struct
+  type 'a t = {
+    dummy : 'a;
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable data : 'a array;
+    mutable size : int;
+  }
+
+  let create ~dummy () =
+    { dummy; times = [||]; seqs = [||]; data = [||]; size = 0 }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t =
+    let cap = Array.length t.times in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let ntimes = Array.make ncap 0. in
+      let nseqs = Array.make ncap 0 in
+      let ndata = Array.make ncap t.dummy in
+      Array.blit t.times 0 ntimes 0 t.size;
+      Array.blit t.seqs 0 nseqs 0 t.size;
+      Array.blit t.data 0 ndata 0 t.size;
+      t.times <- ntimes;
+      t.seqs <- nseqs;
+      t.data <- ndata
+    end
+
+  (* (time, seq) lexicographic order; seq is expected to be unique, so
+     the order is total and pop order is fully deterministic. *)
+
+  let push t ~time ~seq x =
+    grow t;
+    let times = t.times and seqs = t.seqs and data = t.data in
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let p = (!i - 1) / 2 in
+      let tp = times.(p) in
+      if tp > time || (tp = time && seqs.(p) > seq) then begin
+        times.(!i) <- tp;
+        seqs.(!i) <- seqs.(p);
+        data.(!i) <- data.(p);
+        i := p
+      end
+      else continue_ := false
+    done;
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    data.(!i) <- x
+
+  let min_time t =
+    if t.size = 0 then invalid_arg "Pqueue.Timed.min_time: empty heap";
+    t.times.(0)
+
+  let peek_min t =
+    if t.size = 0 then invalid_arg "Pqueue.Timed.peek_min: empty heap";
+    t.data.(0)
+
+  (* Sift the (time, seq, payload) triple down from the hole at [i],
+     assuming children below [i] already satisfy the heap property. *)
+  let sift_down t i ~mtime ~mseq ~mx =
+    let times = t.times and seqs = t.seqs and data = t.data in
+    let n = t.size in
+    let i = ref i in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (times.(r) < times.(l)
+               || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(c) < mtime || (times.(c) = mtime && seqs.(c) < mseq) then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          data.(!i) <- data.(c);
+          i := c
+        end
+        else continue_ := false
+      end
+    done;
+    times.(!i) <- mtime;
+    seqs.(!i) <- mseq;
+    data.(!i) <- mx
+
+  let pop_min t =
+    if t.size = 0 then invalid_arg "Pqueue.Timed.pop_min: empty heap";
+    let data = t.data in
+    let top = data.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      let mtime = t.times.(n) and mseq = t.seqs.(n) and mx = data.(n) in
+      data.(n) <- t.dummy;
+      sift_down t 0 ~mtime ~mseq ~mx
+    end
+    else data.(0) <- t.dummy;
+    top
+
+  (* Drop every element [keep] rejects, then re-establish the heap
+     property bottom-up in O(n). Survivors keep their (time, seq) keys,
+     so the pop order of the survivors is unchanged. *)
+  let compact t ~keep =
+    let n = t.size in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep t.data.(i) then begin
+        if !j < i then begin
+          t.times.(!j) <- t.times.(i);
+          t.seqs.(!j) <- t.seqs.(i);
+          t.data.(!j) <- t.data.(i)
+        end;
+        incr j
+      end
+    done;
+    for i = !j to n - 1 do
+      t.data.(i) <- t.dummy
+    done;
+    t.size <- !j;
+    for i = ((!j - 2) / 2) downto 0 do
+      let mtime = t.times.(i) and mseq = t.seqs.(i) and mx = t.data.(i) in
+      sift_down t i ~mtime ~mseq ~mx
+    done
+
+  let clear t =
+    t.times <- [||];
+    t.seqs <- [||];
+    t.data <- [||];
+    t.size <- 0
+end

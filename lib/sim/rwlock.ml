@@ -59,7 +59,7 @@ let release t =
         let w = Queue.pop t.queue in
         t.writer <- true;
         t.wr_count <- t.wr_count + 1;
-        w.resume ()
+        Engine.resume w.resume ()
       end
   | Some { kind = `Read; _ } ->
       if not t.writer then begin
@@ -69,7 +69,7 @@ let release t =
               let w = Queue.pop t.queue in
               t.active_readers <- t.active_readers + 1;
               t.rd_count <- t.rd_count + 1;
-              w.resume ();
+              Engine.resume w.resume ();
               admit ()
           | Some { kind = `Write; _ } | None -> ()
         in

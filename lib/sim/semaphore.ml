@@ -17,7 +17,7 @@ let try_acquire t =
 
 let release t =
   match Queue.take_opt t.queue with
-  | Some resume -> resume () (* permit transfers directly *)
+  | Some r -> Engine.resume r () (* permit transfers directly *)
   | None -> t.permits <- t.permits + 1
 
 let with_permit t f =

@@ -1,0 +1,27 @@
+(** Multicore sweep runner: a [Domain]-pool map over independent
+    simulation points.
+
+    Each engine run is deterministic and self-contained (per-instance
+    queue, clock, RNGs, counters; the "current engine" slot is
+    domain-local), so running one seed or ablation point per domain is
+    safe, and results are merged by point order: the output is
+    element-for-element identical to the sequential map, whatever the
+    parallelism or scheduling. The workload function must not touch
+    shared mutable state of its own. *)
+
+(** [default_jobs ()] is the runtime's recommended domain count for this
+    machine — the natural default for [--jobs 0]-style CLI flags. *)
+val default_jobs : unit -> int
+
+exception Worker of exn * Printexc.raw_backtrace
+(** Wraps the first exception raised by a sweep point; remaining points
+    are abandoned. *)
+
+(** [map ~jobs f items] is [Array.map f items], computed by [jobs]
+    domains ([jobs <= 1] runs sequentially in the calling domain, no
+    domains spawned). Points are claimed dynamically, so uneven point
+    costs still load-balance. @raise Worker if any [f] raises. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list] is {!map} over lists. *)
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

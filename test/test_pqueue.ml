@@ -1,0 +1,241 @@
+(* Property tests for the engine's binary heaps (Pqueue) and the
+   cancellation machinery layered on them by Engine.
+
+   The heaps power the hot loop, so they are tested model-based: random
+   push/pop sequences replayed against a sorted-list oracle, for both
+   the generic comparison heap and the (time, seq)-keyed Timed heap the
+   event loop uses. The Timed properties pin down the determinism
+   contract — ties in time pop in sequence (i.e. push) order — and that
+   [compact] (the lazy-cancellation purge) preserves exactly the kept
+   elements and their relative order. Deterministic cases cover the
+   space-leak regression (capacity released on drain, shrunk on partial
+   drain) and Engine-level cancel/compaction accounting.
+
+   QCheck_alcotest ignores QCHECK_COUNT, so the long-iteration CI job's
+   knob is honoured here by hand. *)
+
+let count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+(* ------------------------------------------------------------------ *)
+(* Generic heap vs a sorted-list model *)
+
+let prop_heapsort =
+  QCheck.Test.make ~count ~name:"drain pops a sorted sequence"
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let h = Sim.Pqueue.create ~cmp:Int.compare in
+      List.iter (Sim.Pqueue.push h) xs;
+      let out = ref [] in
+      Sim.Pqueue.drain h (fun x -> out := x :: !out);
+      List.rev !out = List.sort Int.compare xs)
+
+type gop = Push of int | Pop
+
+let gops_arb =
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function Push x -> Printf.sprintf "push %d" x | Pop -> "pop")
+         ops)
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      list_size (0 -- 200)
+        (frequency
+           [ (3, map (fun x -> Push x) (int_range (-50) 50)); (2, return Pop) ]))
+
+let prop_interleaved =
+  QCheck.Test.make ~count ~name:"interleaved push/pop matches the model"
+    gops_arb
+    (fun ops ->
+      let h = Sim.Pqueue.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (function
+          | Push x ->
+              Sim.Pqueue.push h x;
+              model := List.sort Int.compare (x :: !model);
+              true
+          | Pop -> (
+              match (Sim.Pqueue.pop h, !model) with
+              | None, [] -> true
+              | Some x, m :: rest when x = m ->
+                  model := rest;
+                  true
+              | _ -> false))
+        ops
+      && Sim.Pqueue.length h = List.length !model)
+
+(* The leak regression this PR fixed: a drained heap used to keep its
+   peak-size backing array alive with the last popped element still
+   reachable at data.(size). Now pops overwrite the freed slot, the
+   array halves when occupancy falls below a quarter, and a fully
+   drained heap releases the array entirely. *)
+let test_capacity_release () =
+  let h = Sim.Pqueue.create ~cmp:Int.compare in
+  for i = 1 to 1024 do
+    Sim.Pqueue.push h i
+  done;
+  Alcotest.(check bool) "grew" true (Sim.Pqueue.capacity h >= 1024);
+  for _ = 1 to 1014 do
+    ignore (Sim.Pqueue.pop h : int option)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank towards occupancy (capacity %d)"
+       (Sim.Pqueue.capacity h))
+    true
+    (Sim.Pqueue.capacity h <= 64);
+  Sim.Pqueue.drain h (fun _ -> ());
+  Alcotest.(check int) "drained heap releases the array" 0
+    (Sim.Pqueue.capacity h)
+
+(* ------------------------------------------------------------------ *)
+(* Timed heap: the (time, seq) determinism contract *)
+
+type top = TPush of float | TPop
+
+let times = [ 0.; 0.25; 1.; 1.; 2.; 3.5 ]
+
+let tops_arb =
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function TPush t -> Printf.sprintf "push %g" t | TPop -> "pop")
+         ops)
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      list_size (0 -- 200)
+        (frequency
+           [ (3, map (fun t -> TPush t) (oneofl times)); (2, return TPop) ]))
+
+let key_cmp (t1, s1) (t2, s2) =
+  if t1 <> t2 then Float.compare t1 t2 else Int.compare s1 s2
+
+let prop_timed =
+  QCheck.Test.make ~count
+    ~name:"Timed pops by (time, seq): ties resolve in push order" tops_arb
+    (fun ops ->
+      let h = Sim.Pqueue.Timed.create ~dummy:(-1) () in
+      let seq = ref 0 in
+      (* model: (time, seq) pairs, sorted; payload is the seq itself *)
+      let model = ref [] in
+      List.for_all
+        (function
+          | TPush time ->
+              Sim.Pqueue.Timed.push h ~time ~seq:!seq !seq;
+              model := List.sort key_cmp ((time, !seq) :: !model);
+              incr seq;
+              true
+          | TPop -> (
+              match !model with
+              | [] -> Sim.Pqueue.Timed.is_empty h
+              | (t, s) :: rest ->
+                  let mt = Sim.Pqueue.Timed.min_time h in
+                  let x = Sim.Pqueue.Timed.pop_min h in
+                  model := rest;
+                  mt = t && x = s))
+        ops
+      && Sim.Pqueue.Timed.length h = List.length !model)
+
+let prop_compact =
+  QCheck.Test.make ~count
+    ~name:"compact keeps exactly the accepted elements, in order"
+    QCheck.(list (oneofl times))
+    (fun ts ->
+      let h = Sim.Pqueue.Timed.create ~dummy:(-1) () in
+      List.iteri (fun i t -> Sim.Pqueue.Timed.push h ~time:t ~seq:i i) ts;
+      let keep x = x mod 3 <> 0 in
+      Sim.Pqueue.Timed.compact h ~keep;
+      let expected =
+        List.mapi (fun i t -> (t, i)) ts
+        |> List.filter (fun (_, i) -> keep i)
+        |> List.sort key_cmp |> List.map snd
+      in
+      let out = ref [] in
+      while not (Sim.Pqueue.Timed.is_empty h) do
+        out := Sim.Pqueue.Timed.pop_min h :: !out
+      done;
+      List.rev !out = expected)
+
+let test_timed_empty () =
+  let h = Sim.Pqueue.Timed.create ~dummy:0 () in
+  Alcotest.check_raises "pop_min on empty"
+    (Invalid_argument "Pqueue.Timed.pop_min: empty heap") (fun () ->
+      ignore (Sim.Pqueue.Timed.pop_min h : int));
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Pqueue.Timed.min_time: empty heap") (fun () ->
+      ignore (Sim.Pqueue.Timed.min_time h : float))
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level cancellation: lazy deletion + compaction accounting *)
+
+(* 300 timers over 30 distinct times (10-way ties), two thirds cancelled
+   up front — enough to trip the lazy compaction threshold. Survivors
+   must fire exactly once, ordered by (time, schedule order). *)
+let test_engine_cancel_compact () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let handles =
+    Array.init 300 (fun i ->
+        Sim.Engine.schedule_at e
+          (float_of_int (i mod 30))
+          (fun () -> fired := i :: !fired))
+  in
+  Array.iteri (fun i h -> if i mod 3 <> 0 then Sim.Engine.cancel h) handles;
+  (* cancel is idempotent: a second pass must not skew the census *)
+  Array.iteri (fun i h -> if i mod 3 <> 0 then Sim.Engine.cancel h) handles;
+  Alcotest.(check int) "pending counts only live events" 100
+    (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  let expected =
+    List.init 300 (fun i -> i)
+    |> List.filter (fun i -> i mod 3 = 0)
+    |> List.sort (fun a b -> key_cmp (float_of_int (a mod 30), a)
+                               (float_of_int (b mod 30), b))
+  in
+  Alcotest.(check (list int)) "survivors fire in (time, seq) order" expected
+    (List.rev !fired);
+  Alcotest.(check int) "queue drained" 0 (Sim.Engine.pending e)
+
+let test_engine_cancel_after_fire () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  let h = Sim.Engine.schedule_at e 1. (fun () -> incr n) in
+  Sim.Engine.run e;
+  Alcotest.(check int) "fired once" 1 !n;
+  (* cancelling a fired event is a no-op and must not corrupt the
+     cancelled-events census behind [pending] *)
+  Sim.Engine.cancel h;
+  Sim.Engine.cancel h;
+  Alcotest.(check int) "pending stays 0" 0 (Sim.Engine.pending e);
+  ignore (Sim.Engine.schedule_at e 2. (fun () -> incr n) : Sim.Engine.handle);
+  Alcotest.(check int) "new event counted" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "second fired" 2 !n
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      qsuite "generic" [ prop_heapsort; prop_interleaved ];
+      qsuite "timed" [ prop_timed; prop_compact ];
+      ( "regressions",
+        [
+          Alcotest.test_case "capacity released on drain" `Quick
+            test_capacity_release;
+          Alcotest.test_case "empty Timed raises" `Quick test_timed_empty;
+        ] );
+      ( "engine-cancel",
+        [
+          Alcotest.test_case "mass cancel + compaction" `Quick
+            test_engine_cancel_compact;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_engine_cancel_after_fire;
+        ] );
+    ]
