@@ -863,7 +863,9 @@ let run_perf () =
          ("events_per_sec_wall", J.Float eps);
          ("gc_minor_words_per_event", J.Float words_per_event);
          ("p50_ms", ms 0.5);
+         ("p95_ms", ms 0.95);
          ("p99_ms", ms 0.99);
+         ("hit_ratio", J.Float r.Swala.Cluster_runner.hit_ratio);
          ( "max_ms",
            J.float_opt
              (Option.map

@@ -8,9 +8,14 @@
    back on the hot path), not scheduling jitter.
 
    Usage:
-     perf_gate --baseline FILE --current FILE [--min-ratio R] [--key K]
+     perf_gate --baseline FILE --current FILE [--min-ratio R] [--key K]...
 
-   Defaults: min-ratio 0.5, key events_per_sec_wall.
+   --key is repeatable; every key must pass. A key defaults to
+   higher-is-better (current/baseline >= min-ratio); suffix it with
+   ":lower" for lower-is-better metrics such as latencies, where the
+   gate becomes baseline/current >= min-ratio.
+
+   Defaults: min-ratio 0.5, keys [events_per_sec_wall].
    Exit status: 0 pass, 1 regression, 2 usage or parse error.
 
    The JSON "parser" below only needs to pull one numeric field out of
@@ -66,9 +71,25 @@ let number_field ~path json key =
     | Some v -> v
     | None -> fail ()
 
+(* "p95_ms:lower" -> ("p95_ms", lower-is-better). *)
+let parse_key spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, false)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      match String.sub spec (i + 1) (String.length spec - i - 1) with
+      | "lower" -> (name, true)
+      | "higher" -> (name, false)
+      | dir ->
+          Printf.eprintf
+            "perf_gate: --key %s: unknown direction %S (expected lower or \
+             higher)\n"
+            spec dir;
+          exit 2)
+
 let () =
   let baseline = ref "" and current = ref "" in
-  let min_ratio = ref 0.5 and key = ref "events_per_sec_wall" in
+  let min_ratio = ref 0.5 and keys = ref [] in
   let rec parse = function
     | "--baseline" :: v :: rest -> baseline := v; parse rest
     | "--current" :: v :: rest -> current := v; parse rest
@@ -78,13 +99,13 @@ let () =
         | _ ->
             Printf.eprintf "perf_gate: --min-ratio: bad value %S\n" v;
             exit 2)
-    | "--key" :: v :: rest -> key := v; parse rest
+    | "--key" :: v :: rest -> keys := parse_key v :: !keys; parse rest
     | [] -> ()
     | arg :: _ ->
         Printf.eprintf
           "perf_gate: unknown argument %S\n\
            usage: perf_gate --baseline FILE --current FILE [--min-ratio R] \
-           [--key K]\n"
+           [--key K[:lower]]...\n"
           arg;
         exit 2
   in
@@ -92,23 +113,39 @@ let () =
   if !baseline = "" || !current = "" then begin
     Printf.eprintf
       "usage: perf_gate --baseline FILE --current FILE [--min-ratio R] \
-       [--key K]\n";
+       [--key K[:lower]]...\n";
     exit 2
   end;
-  let b = number_field ~path:!baseline (read_file !baseline) !key in
-  let c = number_field ~path:!current (read_file !current) !key in
-  if b <= 0. then begin
-    Printf.eprintf "perf_gate: baseline %s is %g; nothing to gate on\n" !key b;
-    exit 2
-  end;
-  let ratio = c /. b in
-  Printf.printf "perf_gate: %s baseline %.0f, current %.0f, ratio %.3f (min %.3f)\n"
-    !key b c ratio !min_ratio;
-  if ratio < !min_ratio then begin
+  let keys =
+    match List.rev !keys with
+    | [] -> [ ("events_per_sec_wall", false) ]
+    | ks -> ks
+  in
+  let bjson = read_file !baseline and cjson = read_file !current in
+  let failed = ref false in
+  List.iter
+    (fun (key, lower_better) ->
+      let b = number_field ~path:!baseline bjson key in
+      let c = number_field ~path:!current cjson key in
+      let num, den = if lower_better then (b, c) else (c, b) in
+      if den <= 0. then begin
+        Printf.eprintf "perf_gate: %s %s is %g; nothing to gate on\n"
+          (if lower_better then "current" else "baseline")
+          key den;
+        exit 2
+      end;
+      let ratio = num /. den in
+      Printf.printf
+        "perf_gate: %s baseline %g, current %g, ratio %.3f (min %.3f%s)\n" key
+        b c ratio !min_ratio
+        (if lower_better then ", lower is better" else "");
+      if ratio < !min_ratio then failed := true)
+    keys;
+  if !failed then begin
     Printf.printf
-      "perf_gate: FAIL — throughput regressed beyond tolerance; if this is \
-       a deliberate tradeoff, re-run `bench/main.exe micro` and commit the \
-       new BENCH_perf.json\n";
+      "perf_gate: FAIL — a gated metric regressed beyond tolerance; if this \
+       is a deliberate tradeoff, re-run `bench/main.exe micro` and commit \
+       the new BENCH_perf.json\n";
     exit 1
   end
   else print_endline "perf_gate: PASS"

@@ -401,6 +401,53 @@ let metrics_out_t =
            histograms as JSON to FILE. With $(b,--seeds) N > 1, one file \
            per seed is written as FILE.SEED.")
 
+(* Flight-recorder options (see docs/OBSERVABILITY.md). *)
+
+let telemetry_interval_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "telemetry-interval" ] ~docv:"SEC"
+        ~doc:
+          "Enable the flight recorder: sample cluster and engine probes \
+           into bounded timelines every SEC virtual seconds, run the \
+           online health monitor, print timeline/incident tables after \
+           the run, and add a ['timelines']/['incidents'] section to \
+           $(b,--metrics-out). Off by default; a run without it is \
+           byte-identical to one built without the plane.")
+
+let telemetry_csv_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "telemetry-csv" ] ~docv:"PREFIX"
+        ~doc:
+          "Write the sampled timelines as CSV: PREFIX.cluster.csv for \
+           cluster-wide probes plus one PREFIX.nodeN.csv per node. \
+           Requires $(b,--telemetry-interval).")
+
+let incidents_out_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "incidents-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the health monitor's incident log as plain text, one \
+           line per incident. Requires $(b,--telemetry-interval).")
+
+let slo_target_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "slo-target" ] ~docv:"SEC"
+        ~doc:
+          "Response-time SLO target driving the health monitor's \
+           burn-rate detector. Requires $(b,--telemetry-interval).")
+
+let slo_objective_t =
+  Arg.(
+    value & opt float 0.95
+    & info [ "slo-objective" ] ~docv:"FRAC"
+        ~doc:
+          "Fraction of requests that must meet $(b,--slo-target), in \
+           (0,1).")
+
 let seeds_t =
   Arg.(
     value & opt int 1
@@ -745,6 +792,17 @@ let run_multi ~seeds ~jobs ~seed ~workload ~requests ~nodes ~mode ~policy
       | _ -> ())
     results
 
+(* The pid a probe's counter track lands on in the Chrome-trace export:
+   per-node probes (names with an [n<i>.] prefix) on that node's track,
+   cluster-wide probes on a dedicated "cluster" track after the clients
+   track. *)
+let probe_node_id name =
+  if String.length name > 1 && name.[0] = 'n' then
+    match String.index_opt name '.' with
+    | Some dot when dot > 1 -> int_of_string_opt (String.sub name 1 (dot - 1))
+    | _ -> None
+  else None
+
 let run_cmd_impl seed nodes mode policy capacity streams requests workload
     router rules_file drop_rate delay_rate delay_mean crash_mtbf crash_mttr
     fault_horizon partitions anti_entropy_period fetch_timeout fetch_retries
@@ -753,7 +811,8 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
     hotspot_threshold hotspot_window hotspot_replicas freshness default_ttl
     refresh_budget refresh_interval scenario_name scenario_duration flash_crowd
     diurnal geo_tiers churn_rate churn_downtime churn_fixed trace_file
-    trace_breakdown metrics_out seeds jobs =
+    trace_breakdown metrics_out telemetry_interval telemetry_csv incidents_out
+    slo_target slo_objective seeds jobs =
   if seeds < 1 then begin
     prerr_endline "swala_sim run: --seeds must be >= 1";
     exit 2
@@ -762,6 +821,19 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
     prerr_endline
       "swala_sim run: --trace-file/--trace-breakdown are single-run \
        reports; not available with --seeds > 1";
+    exit 2
+  end;
+  if seeds > 1 && (telemetry_csv <> None || incidents_out <> None) then begin
+    prerr_endline
+      "swala_sim run: --telemetry-csv/--incidents-out are single-run \
+       reports; not available with --seeds > 1";
+    exit 2
+  end;
+  if telemetry_interval = None && (telemetry_csv <> None || incidents_out <> None)
+  then begin
+    prerr_endline
+      "swala_sim run: --telemetry-csv/--incidents-out require \
+       --telemetry-interval";
     exit 2
   end;
   let rules =
@@ -807,7 +879,7 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       ?default_ttl:(Option.map Option.some default_ttl)
       ~refresh_budget ~refresh_interval ~scenario
       ~trace:(trace_file <> None || trace_breakdown)
-      ~seed ()
+      ~telemetry_interval ~slo_target ~slo_objective ~seed ()
   in
   (* Validation otherwise happens inside the run; surface bad flag
      combinations (e.g. faults without --fetch-timeout) as a clean
@@ -912,6 +984,18 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
       List.iter
         (fun name -> Printf.printf "  %-24s %d\n" name (Metrics.Counter.get c name))
         (Metrics.Counter.names c);
+      (* Flight-recorder report: only when telemetry was on, keeping
+         telemetry-off stdout identical to older builds. *)
+      (match result.Swala.Cluster_runner.timelines with
+      | None -> ()
+      | Some reg ->
+          print_newline ();
+          Metrics.Table.print (Swala.Telemetry_report.timelines_table reg));
+      (match result.Swala.Cluster_runner.health with
+      | None -> ()
+      | Some h ->
+          Metrics.Table.print
+            (Swala.Telemetry_report.incidents_table (Metrics.Health.incidents h)));
       (if trace_breakdown then
          match result.Swala.Cluster_runner.tracer with
          | None -> ()
@@ -923,21 +1007,70 @@ let run_cmd_impl seed nodes mode policy capacity streams requests workload
                   result.Swala.Cluster_runner.wait_histograms));
       (match (trace_file, result.Swala.Cluster_runner.tracer) with
       | Some path, Some tr ->
+          (* With telemetry on, the sampled timelines ride along as
+             Perfetto counter tracks: per-node probes on their node's
+             track, cluster-wide probes on a dedicated track. *)
+          let counters =
+            match result.Swala.Cluster_runner.timelines with
+            | None -> []
+            | Some reg ->
+                Metrics.Trace.set_track_name tr (nodes + 1) "cluster";
+                List.map
+                  (fun (s : Metrics.Registry.series) ->
+                    let pid =
+                      match probe_node_id s.Metrics.Registry.name with
+                      | Some i when i >= 0 && i < nodes -> i
+                      | _ -> nodes + 1
+                    in
+                    (pid, s.Metrics.Registry.name, s.Metrics.Registry.points))
+                  (Metrics.Registry.series reg)
+          in
           let oc = open_out path in
-          output_string oc (Metrics.Trace.to_chrome_json tr);
+          output_string oc (Metrics.Trace.to_chrome_json ~counters tr);
           output_char oc '\n';
           close_out oc;
           Printf.printf "wrote %d spans to %s (Perfetto / chrome://tracing)\n"
             (Metrics.Trace.n_spans tr) path
       | _ -> ());
-      match metrics_out with
+      (match metrics_out with
       | None -> ()
       | Some path ->
           let oc = open_out path in
           output_string oc (Swala.Cluster_runner.result_to_json result);
           output_char oc '\n';
           close_out oc;
-          Printf.printf "wrote metrics JSON to %s\n" path
+          Printf.printf "wrote metrics JSON to %s\n" path);
+      (match (telemetry_csv, result.Swala.Cluster_runner.timelines) with
+      | Some prefix, Some reg ->
+          let write path keep =
+            let oc = open_out path in
+            output_string oc (Metrics.Registry.to_csv ~keep reg);
+            close_out oc
+          in
+          write
+            (prefix ^ ".cluster.csv")
+            (fun name -> probe_node_id name = None);
+          for i = 0 to nodes - 1 do
+            write
+              (Printf.sprintf "%s.node%d.csv" prefix i)
+              (fun name -> probe_node_id name = Some i)
+          done;
+          Printf.printf "wrote telemetry CSVs to %s.{cluster,node*}.csv\n"
+            prefix
+      | _ -> ());
+      match (incidents_out, result.Swala.Cluster_runner.health) with
+      | Some path, Some h ->
+          let oc = open_out path in
+          let ppf = Format.formatter_of_out_channel oc in
+          List.iter
+            (fun i -> Format.fprintf ppf "%a@." Metrics.Health.pp_incident i)
+            (Metrics.Health.incidents h);
+          Format.pp_print_flush ppf ();
+          close_out oc;
+          Printf.printf "wrote %d incident(s) to %s\n"
+            (Metrics.Health.n_incidents h)
+            path
+      | _ -> ()
 
 let run_cmd =
   let doc = "Run a cluster simulation and report response times and counters." in
@@ -955,7 +1088,9 @@ let run_cmd =
       $ refresh_budget_t $ refresh_interval_t $ scenario_t
       $ scenario_duration_t $ flash_crowd_t $ diurnal_t $ geo_tiers_t
       $ churn_rate_t $ churn_downtime_t $ churn_fixed_t $ trace_file_t
-      $ trace_breakdown_t $ metrics_out_t $ seeds_t $ jobs_t)
+      $ trace_breakdown_t $ metrics_out_t $ telemetry_interval_t
+      $ telemetry_csv_t $ incidents_out_t $ slo_target_t $ slo_objective_t
+      $ seeds_t $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -984,6 +1119,44 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~doc)
     Term.(const gen_cmd_impl $ seed_t $ requests_t $ workload_t $ output_t)
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"METRICS_JSON"
+        ~doc:"A metrics JSON file written by $(b,run --metrics-out).")
+
+let report_cmd_impl file =
+  let payload =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Metrics.Json.of_string payload with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 2
+  | Ok json -> (
+      match Swala.Telemetry_report.render_json_report json with
+      | Some text -> print_string text
+      | None ->
+          Printf.eprintf
+            "%s: no timelines/incidents sections (was the run made with \
+             --telemetry-interval?)\n"
+            file;
+          exit 1)
+
+let report_cmd =
+  let doc =
+    "Render a metrics JSON file's flight-recorder sections (probe \
+     timelines with sparklines, health incidents) as plain-text tables."
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report_cmd_impl $ report_file_t)
 
 (* ------------------------------------------------------------------ *)
 (* list *)
@@ -1034,4 +1207,6 @@ let () =
   let doc = "Swala cooperative-caching web-server simulator (HPDC 1998)." in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "swala_sim" ~doc) [ run_cmd; gen_cmd; list_cmd ]))
+       (Cmd.group
+          (Cmd.info "swala_sim" ~doc)
+          [ run_cmd; gen_cmd; report_cmd; list_cmd ]))

@@ -14,3 +14,9 @@ let make ~node =
     sync_mb = Sim.Mailbox.create ();
     lookup_mb = Sim.Mailbox.create ();
   }
+
+let backlog t =
+  Sim.Mailbox.length t.info_mb
+  + Sim.Mailbox.length t.data_mb
+  + Sim.Mailbox.length t.sync_mb
+  + Sim.Mailbox.length t.lookup_mb

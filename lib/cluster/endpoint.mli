@@ -14,3 +14,8 @@ type t = {
 
 (** [make ~node] allocates fresh mailboxes for [node]'s daemons. *)
 val make : node:int -> t
+
+(** [backlog t] is the total number of messages queued across all four
+    daemon mailboxes — an O(1) read for the flight recorder's
+    protocol-backlog probe. *)
+val backlog : t -> int

@@ -25,6 +25,8 @@ type result = {
   freshness_mode : string;
   freshness_active : bool;
   staleness : Metrics.Histogram.t;
+  timelines : Metrics.Registry.t option;
+  health : Metrics.Health.t option;
 }
 
 let mean_response r = Metrics.Sample.mean r.response
@@ -176,6 +178,7 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
                       Sim.Engine.set_local 0);
                   let dt = Sim.Engine.now () -. t0 in
                   Metrics.Sample.add response dt;
+                  Server.observe_response cluster dt;
                   observe ~time:(Sim.Engine.now ()) dt;
                   if Array.length tier_of_stream > 0 then
                     Metrics.Sample.add tier_samples.(tier_of_stream.(s)) dt;
@@ -306,6 +309,8 @@ let run_with cfg ~trace ~n_streams ?warmup ?(assign = fun s -> s mod cfg.Config.
       cfg.Config.freshness = Cache.Freshness.Adaptive
       || cfg.Config.refresh_budget > 0.;
     staleness = Server.staleness_histogram cluster;
+    timelines = Server.telemetry_registry cluster;
+    health = Server.health cluster;
   }
 
 (* JSON rendering of a run's metrics (the [--metrics-out] payload, also
@@ -396,12 +401,22 @@ let result_to_json r =
     @
     (* The freshness plane's keys only appear when it is on (adaptive TTLs
        or a refresh budget), keeping default payloads identical. *)
-    if r.freshness_active then
-      [
-        ("freshness", J.Str r.freshness_mode);
-        ("staleness_s", histogram_json r.staleness);
-      ]
-    else []))
+    (if r.freshness_active then
+       [
+         ("freshness", J.Str r.freshness_mode);
+         ("staleness_s", histogram_json r.staleness);
+       ]
+     else [])
+    @
+    (* The flight recorder's sections exist only when telemetry was on,
+       keeping telemetry-off payloads byte-identical to older builds. *)
+    (match r.timelines with
+    | None -> []
+    | Some reg -> [ ("timelines", Metrics.Registry.to_json reg) ])
+    @
+    match r.health with
+    | None -> []
+    | Some h -> [ ("incidents", Metrics.Health.to_json h) ]))
 
 let default_registry trace =
   let registry = Cgi.Registry.create () in

@@ -64,6 +64,13 @@ type result = {
       (** content ages at cache hits (seconds since entry creation) —
           recorded in every mode; the freshness ablation's staleness
           metric *)
+  timelines : Metrics.Registry.t option;
+      (** the flight recorder's probe timelines, when
+          [cfg.telemetry_interval] was set; gates the ["timelines"] JSON
+          section *)
+  health : Metrics.Health.t option;
+      (** the online health monitor (incident log), when telemetry was
+          on; gates the ["incidents"] JSON section *)
 }
 
 val mean_response : result -> float

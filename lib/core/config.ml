@@ -113,6 +113,9 @@ type t = {
   fs_cache_hit : float;
   scenario : Workload.Scenario.t option;
   trace : bool;
+  telemetry_interval : float option;
+  slo_target : float option;
+  slo_objective : float;
   seed : int;
 }
 
@@ -169,6 +172,9 @@ let default =
     fs_cache_hit = 0.95;
     scenario = None;
     trace = false;
+    telemetry_interval = None;
+    slo_target = None;
+    slo_objective = 0.95;
     seed = 42;
   }
 
@@ -214,7 +220,10 @@ let make ?(n_nodes = default.n_nodes)
     ?(refresh_budget = default.refresh_budget)
     ?(refresh_interval = default.refresh_interval)
     ?(fs_cache_hit = default.fs_cache_hit) ?(scenario = default.scenario)
-    ?(trace = default.trace) ?(seed = default.seed) () =
+    ?(trace = default.trace)
+    ?(telemetry_interval = default.telemetry_interval)
+    ?(slo_target = default.slo_target)
+    ?(slo_objective = default.slo_objective) ?(seed = default.seed) () =
   {
     n_nodes;
     threads_per_node;
@@ -267,6 +276,9 @@ let make ?(n_nodes = default.n_nodes)
     fs_cache_hit;
     scenario;
     trace;
+    telemetry_interval;
+    slo_target;
+    slo_objective;
     seed;
   }
 
@@ -375,6 +387,20 @@ let validate t =
       (t.cache_mode <> Disabled)
       "proactive refresh re-executes cached entries; it requires a cache \
        (cache_mode must not be no-cache)";
+  (match t.telemetry_interval with
+  | Some dt -> check (dt > 0.) "telemetry_interval must be positive"
+  | None -> ());
+  (match t.slo_target with
+  | Some s ->
+      check (s > 0.) "slo_target must be positive";
+      check
+        (t.telemetry_interval <> None)
+        "slo_target drives the health monitor, which runs on the telemetry \
+         cadence; set a telemetry_interval"
+  | None -> ());
+  check
+    (t.slo_objective > 0. && t.slo_objective < 1.)
+    "slo_objective must be in (0,1)";
   check (t.dir_scan_cost >= 0.) "dir_scan_cost must be >= 0";
   check (t.local_fetch_cost >= 0.) "local_fetch_cost must be >= 0";
   check (t.remote_fetch_cost >= 0.) "remote_fetch_cost must be >= 0";

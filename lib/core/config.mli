@@ -216,6 +216,21 @@ type t = {
           [false]; tracing is observation-only, so every simulated
           quantity (counters, response times, replay digests) is
           byte-identical with it on or off *)
+  telemetry_interval : float option;
+      (** flight-recorder cadence (s): if set, a sampler daemon reads the
+          cluster's telemetry probes ({!Metrics.Registry}) every this many
+          virtual seconds and the health monitor ({!Metrics.Health}) runs
+          on the same tick. [None] (the default) allocates none of it —
+          like [trace], the plane is observation-only and a disabled run
+          is byte-identical to builds without it (the sampler does add
+          engine events, so [n_events] differs when {e enabled}) *)
+  slo_target : float option;
+      (** response-time SLO target (s) for the health monitor's burn-rate
+          detector; requires [telemetry_interval]. [None] (the default)
+          leaves the burn detector off *)
+  slo_objective : float;
+      (** fraction of requests that must meet [slo_target], in (0,1).
+          Default 0.95 *)
   seed : int;
 }
 
@@ -276,6 +291,9 @@ val make :
   ?fs_cache_hit:float ->
   ?scenario:Workload.Scenario.t option ->
   ?trace:bool ->
+  ?telemetry_interval:float option ->
+  ?slo_target:float option ->
+  ?slo_objective:float ->
   ?seed:int ->
   unit ->
   t

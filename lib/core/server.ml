@@ -145,6 +145,20 @@ type t = {
   mutable stop : bool;
 }
 
+(* The flight recorder, allocated only when [Config.telemetry_interval]
+   is set. Its probes are closures over the cluster's live state (node
+   counters, engine internals, the host-side histograms), read together
+   by one sampler daemon on the telemetry cadence. The response
+   accumulator pair is the cumulative (count, sum) the [response] probe
+   diffs per window; [t_stop] ends the sampler like a node's daemons. *)
+type telemetry = {
+  t_registry : Metrics.Registry.t;
+  t_health : Metrics.Health.t;
+  mutable t_resp_n : float;
+  mutable t_resp_sum : float;
+  mutable t_stop : bool;
+}
+
 type cluster = {
   engine : Sim.Engine.t;
   net : Sim.Net.t;
@@ -166,6 +180,7 @@ type cluster = {
   staleness : Metrics.Histogram.t;
       (* age of the served result at every cache hit (local and remote),
          seconds; host-side only, like hit_latency *)
+  telemetry : telemetry option;
 }
 
 let engine c = c.engine
@@ -406,6 +421,106 @@ let create_cluster ?client_extra_latency engine cfg ~registry
             (Printf.sprintf "node %d" nd.id))
         nodes;
       Metrics.Trace.set_track_name tr cfg.Config.n_nodes "clients");
+  let hit_latency = Metrics.Sample.create () in
+  let fwd_wait = Metrics.Histogram.create () in
+  let staleness =
+    Metrics.Histogram.create ~bounds:Metrics.Histogram.age_bounds ()
+  in
+  (* The flight recorder's probe set. Every probe is a pure read of
+     already-maintained state — counters, histogram totals, engine
+     internals — so sampling records values without perturbing any
+     simulated quantity. (The sampler daemon itself does add engine
+     events, which is why the plane is opt-in; see Config.) *)
+  let telemetry =
+    match cfg.Config.telemetry_interval with
+    | None -> None
+    | Some interval ->
+        let reg = Metrics.Registry.create ~interval () in
+        let health =
+          Metrics.Health.create
+            ~config:
+              {
+                Metrics.Health.default_config with
+                slo_target = cfg.Config.slo_target;
+                slo_objective = cfg.Config.slo_objective;
+              }
+            ~interval ()
+        in
+        let tel =
+          {
+            t_registry = reg;
+            t_health = health;
+            t_resp_n = 0.;
+            t_resp_sum = 0.;
+            t_stop = false;
+          }
+        in
+        (* [Counter.get] reads without creating entries, so probing a
+           counter that never fires leaves the counter set untouched. *)
+        let sum key () =
+          float_of_int
+            (Array.fold_left
+               (fun acc nd -> acc + Metrics.Counter.get nd.counters key)
+               0 nodes)
+        in
+        let module R = Metrics.Registry in
+        R.histogram reg "hit.ratio" (fun () ->
+            (sum K.requests (), sum K.hit_local () +. sum K.hit_remote ()));
+        R.histogram reg "response" (fun () -> (tel.t_resp_n, tel.t_resp_sum));
+        R.counter reg "info.rate" (sum K.info_msgs);
+        R.counter reg "batch.rate" (sum K.batches_sent);
+        R.counter reg "refresh.rate" (sum K.refreshes);
+        R.counter reg "stale.rate" (sum K.stale_served);
+        R.gauge reg "dir.entries" (fun () ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc nd -> acc + MP.entries nd.plane)
+                 0 nodes));
+        R.gauge reg "listen.depth" (fun () ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc nd -> acc + Sim.Mailbox.length nd.listen)
+                 0 nodes));
+        R.gauge reg "proto.backlog" (fun () ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc nd -> acc + Cluster.Endpoint.backlog nd.endpoint)
+                 0 nodes));
+        R.histogram reg "fwd.wait" (fun () ->
+            ( float_of_int (Metrics.Histogram.count fwd_wait),
+              Metrics.Histogram.total fwd_wait ));
+        R.histogram reg "staleness" (fun () ->
+            ( float_of_int (Metrics.Histogram.count staleness),
+              Metrics.Histogram.total staleness ));
+        (* Engine self-telemetry: raw heap occupancy vs capacity, the
+           lazy-cancellation census whose growth drives compaction, the
+           event execution rate, and the allocation rate of the host
+           program itself. *)
+        R.gauge reg "engine.heap" (fun () ->
+            float_of_int (Sim.Engine.heap_depth engine));
+        R.gauge reg "engine.heap_cap" (fun () ->
+            float_of_int (Sim.Engine.heap_capacity engine));
+        R.gauge reg "engine.cancelled" (fun () ->
+            float_of_int (Sim.Engine.cancelled_events engine));
+        R.counter reg "engine.events.rate" (fun () ->
+            float_of_int (Sim.Engine.events_processed engine));
+        R.counter reg "gc.minor_words.rate" (fun () -> Gc.minor_words ());
+        Array.iter
+          (fun nd ->
+            let pfx = Printf.sprintf "n%d." nd.id in
+            (* busy CPU-seconds are cumulative, so the per-second rate of
+               this counter is the node's utilisation over the window *)
+            R.counter reg (pfx ^ "util") (fun () -> Sim.Cpu.busy_time nd.cpu);
+            R.gauge reg (pfx ^ "active") (fun () -> float_of_int nd.active);
+            R.counter reg
+              (pfx ^ "hits.rate")
+              (fun () ->
+                float_of_int
+                  (Metrics.Counter.get nd.counters K.hit_local
+                  + Metrics.Counter.get nd.counters K.hit_remote)))
+          nodes;
+        Some tel
+  in
   {
     engine;
     net;
@@ -417,10 +532,10 @@ let create_cluster ?client_extra_latency engine cfg ~registry
     fault_handles = [];
     tracer;
     waits;
-    hit_latency = Metrics.Sample.create ();
-    fwd_wait = Metrics.Histogram.create ();
-    staleness =
-      Metrics.Histogram.create ~bounds:Metrics.Histogram.age_bounds ();
+    hit_latency;
+    fwd_wait;
+    staleness;
+    telemetry;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1810,7 +1925,51 @@ let batch_flusher c nd ~period =
   in
   loop ()
 
+(* Cumulative cluster signals for the health monitor, read at each
+   telemetry tick. All are O(nodes) counter/length reads. *)
+let health_signals c =
+  let hits = ref 0 and lookups = ref 0 and depth = ref 0 in
+  Array.iter
+    (fun nd ->
+      hits :=
+        !hits
+        + Metrics.Counter.get nd.counters K.hit_local
+        + Metrics.Counter.get nd.counters K.hit_remote;
+      lookups := !lookups + Metrics.Counter.get nd.counters K.requests;
+      depth := !depth + Sim.Mailbox.length nd.listen)
+    c.nodes;
+  {
+    Metrics.Health.hits = float_of_int !hits;
+    lookups = float_of_int !lookups;
+    queue_depth = float_of_int !depth /. float_of_int (Array.length c.nodes);
+    stale_count = float_of_int (Metrics.Histogram.count c.staleness);
+    stale_total = Metrics.Histogram.total c.staleness;
+  }
+
+(* The flight recorder's sampler: one cluster-level daemon reading every
+   probe and closing a health window each telemetry interval. Same
+   shutdown discipline as the per-node daemons ([stop] raises the flag,
+   the loop exits at its next wake-up, the queue drains). *)
+let telemetry_daemon c tel ~interval =
+  let rec loop () =
+    if not tel.t_stop then begin
+      Sim.Engine.delay interval;
+      if not tel.t_stop then begin
+        let now = Sim.Engine.now () in
+        Metrics.Registry.sample tel.t_registry ~time:now;
+        Metrics.Health.tick tel.t_health ~now (health_signals c)
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
 let start c =
+  (match c.telemetry with
+  | None -> ()
+  | Some tel ->
+      let interval = Metrics.Registry.interval tel.t_registry in
+      Sim.Engine.spawn c.engine (fun () -> telemetry_daemon c tel ~interval));
   Array.iter
     (fun nd ->
       for _ = 1 to c.cfg.Config.threads_per_node do
@@ -1896,6 +2055,7 @@ let start c =
 
 let stop c =
   Array.iter (fun nd -> nd.stop <- true) c.nodes;
+  (match c.telemetry with None -> () | Some tel -> tel.t_stop <- true);
   (* Cancel pending crash/restart events: without this a fault plan whose
      horizon outlives the workload would keep the engine ticking long after
      the last client finished. *)
@@ -2020,3 +2180,23 @@ let record_shard_stats c =
 
 let hit_latency c = c.hit_latency
 let forward_wait_histogram c = c.fwd_wait
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder accessors *)
+
+let telemetry_registry c =
+  Option.map (fun tel -> tel.t_registry) c.telemetry
+
+let health c = Option.map (fun tel -> tel.t_health) c.telemetry
+
+(* Fed by the cluster runner at each request completion. Pure host-side
+   accumulation (plus the health monitor's window counters), so the
+   request path is untouched when telemetry is off and unperturbed when
+   it is on. *)
+let observe_response c dt =
+  match c.telemetry with
+  | None -> ()
+  | Some tel ->
+      tel.t_resp_n <- tel.t_resp_n +. 1.;
+      tel.t_resp_sum <- tel.t_resp_sum +. dt;
+      Metrics.Health.observe_response tel.t_health dt

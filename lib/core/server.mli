@@ -277,3 +277,23 @@ val forward_wait_histogram : cluster -> Metrics.Histogram.t
     kinds. Collected host-side in every mode — the freshness ablation's
     staleness metric. *)
 val staleness_histogram : cluster -> Metrics.Histogram.t
+
+(** {1 Flight recorder}
+
+    When [Config.telemetry_interval] is set, the cluster carries a
+    {!Metrics.Registry} of probes (cluster signals, per-node utilisation,
+    engine self-telemetry) plus a {!Metrics.Health} monitor, both driven
+    by one sampler daemon on the telemetry cadence. Probes are pure reads
+    of state the cluster already maintains, so sampling perturbs no
+    simulated quantity — but the daemon does add engine events, which is
+    why the plane is opt-in. [None] with telemetry off; the run is then
+    byte-identical to one built without this plane. *)
+
+val telemetry_registry : cluster -> Metrics.Registry.t option
+val health : cluster -> Metrics.Health.t option
+
+(** [observe_response cluster dt] feeds one completed request's response
+    time into the flight recorder (the [response] probe's accumulator and
+    the health monitor's SLO window). No-op when telemetry is off; the
+    cluster runner calls this at each request completion. *)
+val observe_response : cluster -> float -> unit

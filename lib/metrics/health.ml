@@ -1,0 +1,216 @@
+(* Online health monitor over the flight-recorder cadence.
+
+   The sampler daemon closes a window every [interval] virtual seconds;
+   between ticks the run feeds per-request response times in, and at each
+   tick the cluster's cumulative signals are read. Detectors are
+   edge-triggered with hysteresis: an incident is recorded when a
+   condition first becomes true and the detector stays silent until the
+   condition has cleared, so a sustained outage yields one record per
+   excursion, not one per window. *)
+
+type incident = {
+  at : float;
+  detector : string;
+  value : float;
+  threshold : float;
+  message : string;
+}
+
+type config = {
+  slo_target : float option;  (* response-time target (s); None = burn off *)
+  slo_objective : float;  (* fraction of requests that must meet target *)
+  burn_threshold : float;  (* fire when burn rate reaches this multiple *)
+  hit_drop : float;  (* absolute windowed hit-ratio drop vs trailing mean *)
+  queue_depth_min : float;  (* ignore growth below this backlog *)
+  queue_windows : int;  (* consecutive growing windows before firing *)
+  stale_factor : float;  (* windowed mean staleness vs trailing mean *)
+  min_window_obs : int;  (* observations before a window is judged *)
+  warmup_windows : int;  (* windows before baselines are trusted *)
+}
+
+let default_config =
+  {
+    slo_target = None;
+    slo_objective = 0.95;
+    burn_threshold = 2.;
+    hit_drop = 0.25;
+    queue_depth_min = 8.;
+    queue_windows = 3;
+    stale_factor = 3.;
+    min_window_obs = 10;
+    warmup_windows = 3;
+  }
+
+type signals = {
+  hits : float;  (* cumulative cache hits *)
+  lookups : float;  (* cumulative cacheable lookups *)
+  queue_depth : float;  (* instantaneous mean listen backlog *)
+  stale_count : float;  (* cumulative stale-age observations *)
+  stale_total : float;  (* cumulative stale-age seconds *)
+}
+
+type t = {
+  cfg : config;
+  interval : float;
+  mutable incidents : incident list;  (* newest first *)
+  mutable n_windows : int;
+  (* current-window response stats *)
+  mutable resp_n : int;
+  mutable resp_bad : int;  (* responses over the SLO target *)
+  mutable resp_sum : float;
+  mutable resp_max : float;
+  (* previous tick's cumulative signals *)
+  mutable prev : signals;
+  mutable prev_depth : float;
+  mutable growth_streak : int;
+  (* trailing baselines (EWMA over judged windows) *)
+  mutable hit_ewma : float;
+  mutable hit_ewma_set : bool;
+  mutable stale_ewma : float;
+  mutable stale_ewma_set : bool;
+  (* hysteresis: detectors currently in the fired state *)
+  mutable active : string list;
+}
+
+let zero_signals =
+  { hits = 0.; lookups = 0.; queue_depth = 0.; stale_count = 0.; stale_total = 0. }
+
+let create ?(config = default_config) ~interval () =
+  if not (interval > 0.) then invalid_arg "Health.create: interval must be > 0";
+  if not (config.slo_objective > 0. && config.slo_objective < 1.) then
+    invalid_arg "Health.create: slo_objective must be in (0,1)";
+  {
+    cfg = config;
+    interval;
+    incidents = [];
+    n_windows = 0;
+    resp_n = 0;
+    resp_bad = 0;
+    resp_sum = 0.;
+    resp_max = 0.;
+    prev = zero_signals;
+    prev_depth = 0.;
+    growth_streak = 0;
+    hit_ewma = 0.;
+    hit_ewma_set = false;
+    stale_ewma = 0.;
+    stale_ewma_set = false;
+    active = [];
+  }
+
+let observe_response t dt =
+  t.resp_n <- t.resp_n + 1;
+  t.resp_sum <- t.resp_sum +. dt;
+  if dt > t.resp_max then t.resp_max <- dt;
+  match t.cfg.slo_target with
+  | Some target when dt > target -> t.resp_bad <- t.resp_bad + 1
+  | _ -> ()
+
+let is_active t d = List.exists (String.equal d) t.active
+
+(* Edge-triggered: record only on the inactive -> active transition. *)
+let update t ~now ~detector ~firing ~value ~threshold ~message =
+  if firing then begin
+    if not (is_active t detector) then begin
+      t.active <- detector :: t.active;
+      t.incidents <-
+        { at = now; detector; value; threshold; message } :: t.incidents
+    end
+  end
+  else t.active <- List.filter (fun d -> not (String.equal d detector)) t.active
+
+let ewma_alpha = 0.3
+
+let tick t ~now s =
+  let cfg = t.cfg in
+  let warmed = t.n_windows >= cfg.warmup_windows in
+  (* SLO burn rate: window miss fraction over the error budget. *)
+  (match cfg.slo_target with
+  | Some target when t.resp_n >= cfg.min_window_obs ->
+      let miss = float_of_int t.resp_bad /. float_of_int t.resp_n in
+      let budget = 1. -. cfg.slo_objective in
+      let burn = miss /. budget in
+      update t ~now ~detector:"slo_burn" ~firing:(burn >= cfg.burn_threshold)
+        ~value:burn ~threshold:cfg.burn_threshold
+        ~message:
+          (Printf.sprintf
+             "%.0f%% of %d responses over %gs target (burn %.1fx, max %.3fs)"
+             (100. *. miss) t.resp_n target burn t.resp_max)
+  | _ -> ());
+  (* Hit-ratio collapse: windowed ratio vs trailing EWMA. *)
+  let dlook = s.lookups -. t.prev.lookups in
+  if dlook >= float_of_int cfg.min_window_obs then begin
+    let h = (s.hits -. t.prev.hits) /. dlook in
+    (if warmed && t.hit_ewma_set then
+       let firing = t.hit_ewma -. h >= cfg.hit_drop in
+       update t ~now ~detector:"hit_ratio_collapse" ~firing ~value:h
+         ~threshold:(t.hit_ewma -. cfg.hit_drop)
+         ~message:
+           (Printf.sprintf "windowed hit ratio %.2f, trailing %.2f" h
+              t.hit_ewma));
+    (* Baselines only learn from healthy windows, so a long excursion
+       does not drag the reference down to meet it. *)
+    if not (is_active t "hit_ratio_collapse") then
+      if t.hit_ewma_set then
+        t.hit_ewma <- ((1. -. ewma_alpha) *. t.hit_ewma) +. (ewma_alpha *. h)
+      else begin
+        t.hit_ewma <- h;
+        t.hit_ewma_set <- true
+      end
+  end;
+  (* Queue growth: backlog rising for [queue_windows] consecutive ticks. *)
+  if s.queue_depth > t.prev_depth +. 1e-9 then
+    t.growth_streak <- t.growth_streak + 1
+  else t.growth_streak <- 0;
+  update t ~now ~detector:"queue_growth"
+    ~firing:
+      (t.growth_streak >= cfg.queue_windows
+      && s.queue_depth >= cfg.queue_depth_min)
+    ~value:s.queue_depth ~threshold:cfg.queue_depth_min
+    ~message:
+      (Printf.sprintf "listen backlog %.1f rising for %d windows"
+         s.queue_depth t.growth_streak);
+  t.prev_depth <- s.queue_depth;
+  (* Staleness spike: windowed mean served age vs trailing mean. *)
+  let dsc = s.stale_count -. t.prev.stale_count in
+  if dsc >= float_of_int cfg.min_window_obs then begin
+    let m = (s.stale_total -. t.prev.stale_total) /. dsc in
+    (if warmed && t.stale_ewma_set && t.stale_ewma > 0. then
+       update t ~now ~detector:"staleness_spike"
+         ~firing:(m >= cfg.stale_factor *. t.stale_ewma) ~value:m
+         ~threshold:(cfg.stale_factor *. t.stale_ewma)
+         ~message:
+           (Printf.sprintf "windowed staleness %.3fs, trailing %.3fs" m
+              t.stale_ewma));
+    if not (is_active t "staleness_spike") then
+      if t.stale_ewma_set then
+        t.stale_ewma <- ((1. -. ewma_alpha) *. t.stale_ewma) +. (ewma_alpha *. m)
+      else begin
+        t.stale_ewma <- m;
+        t.stale_ewma_set <- true
+      end
+  end;
+  t.prev <- s;
+  t.n_windows <- t.n_windows + 1;
+  t.resp_n <- 0;
+  t.resp_bad <- 0;
+  t.resp_sum <- 0.;
+  t.resp_max <- 0.
+
+let incidents t = List.rev t.incidents
+let n_incidents t = List.length t.incidents
+
+let incident_to_json i =
+  Json.Obj
+    [
+      ("at_s", Json.Float i.at);
+      ("detector", Json.Str i.detector);
+      ("value", Json.Float i.value);
+      ("threshold", Json.Float i.threshold);
+      ("message", Json.Str i.message);
+    ]
+
+let to_json t = Json.List (List.map incident_to_json (incidents t))
+
+let pp_incident ppf i =
+  Format.fprintf ppf "[%8.3fs] %-20s %s" i.at i.detector i.message

@@ -1,6 +1,8 @@
 (** Minimal JSON emitter shared by the metrics dump ([--metrics-out]),
-    the bench harness's [BENCH_perf.json] and the Chrome trace export.
-    Emission only — the simulator never parses JSON. *)
+    the bench harness's [BENCH_perf.json] and the Chrome trace export —
+    plus a parser for the tools that read those dumps back
+    ([bin/metrics_diff], [swala_sim report]). The simulator's run paths
+    only emit. *)
 
 type t =
   | Null
@@ -24,3 +26,19 @@ val to_string : t -> string
 
 (** [write oc v] is [to_string] plus a trailing newline to [oc]. *)
 val write : out_channel -> t -> unit
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed,
+    trailing content is an error). Numbers without fraction or exponent
+    parse as [Int], everything else numeric as [Float], so emit/parse
+    round-trips the emitter's constructor choices. *)
+val of_string : string -> (t, string) result
+
+(** [member k v] is the value of field [k] when [v] is an object having
+    it. *)
+val member : string -> t -> t option
+
+(** [keys v] is an object's field names in order ([[]] for non-objects). *)
+val keys : t -> string list
+
+(** [to_float_opt v] widens [Int]/[Float] to [float]. *)
+val to_float_opt : t -> float option

@@ -1,0 +1,178 @@
+(* Named probe registry: the flight recorder's sampling plane. Probes are
+   registered once at cluster construction and read on a fixed virtual-time
+   cadence by the sampler daemon; every probe records into its own
+   bounded Timeline, and because every probe is ticked on every sample,
+   all timelines keep identical bucket widths — which is what lets the
+   CSV exporter emit one aligned row per bucket. *)
+
+type kind = Gauge | Rate | Wmean
+
+type probe = {
+  p_name : string;
+  p_kind : kind;
+  read : unit -> float * float;
+  tl : Timeline.t;
+  mutable prev_a : float;
+  mutable prev_b : float;
+}
+
+type t = {
+  interval : float;
+  capacity : int;
+  mutable probes : probe list;  (* reverse registration order *)
+  mutable n_samples : int;
+}
+
+let create ?(capacity = 256) ~interval () =
+  if not (interval > 0.) then
+    invalid_arg "Registry.create: interval must be > 0";
+  { interval; capacity; probes = []; n_samples = 0 }
+
+let interval t = t.interval
+let n_samples t = t.n_samples
+
+let register t name kind read =
+  if List.exists (fun p -> String.equal p.p_name name) t.probes then
+    invalid_arg ("Registry: duplicate probe " ^ name);
+  t.probes <-
+    {
+      p_name = name;
+      p_kind = kind;
+      read;
+      tl = Timeline.create ~capacity:t.capacity ~interval:t.interval ();
+      prev_a = 0.;
+      prev_b = 0.;
+    }
+    :: t.probes
+
+let gauge t name f = register t name Gauge (fun () -> (f (), 0.))
+let counter t name f = register t name Rate (fun () -> (f (), 0.))
+let histogram t name f = register t name Wmean f
+
+let sample t ~time =
+  List.iter
+    (fun p ->
+      let a, b = p.read () in
+      (match p.p_kind with
+      | Gauge -> Timeline.record p.tl ~time a
+      | Rate ->
+          (* Cumulative reading; the timeline stores the per-window delta
+             (a counter reset shows up as a fresh start, not a negative
+             spike). Bucket sums stay additive under merging, so the
+             rendered rate is always sum / width. *)
+          let d = a -. p.prev_a in
+          p.prev_a <- a;
+          Timeline.record p.tl ~time (if d >= 0. then d else a)
+      | Wmean ->
+          (* (cumulative count, cumulative total): record the mean of the
+             observations that arrived this window, or just advance the
+             horizon when there were none. *)
+          let dc = a -. p.prev_a and dt = b -. p.prev_b in
+          p.prev_a <- a;
+          p.prev_b <- b;
+          if dc > 0. then Timeline.record p.tl ~time (dt /. dc)
+          else Timeline.tick p.tl ~time))
+    t.probes;
+  t.n_samples <- t.n_samples + 1
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+type series = {
+  name : string;
+  kind : kind;
+  width : float;
+  points : (float * float) array;  (* (bucket start, value); value nan when empty *)
+}
+
+let kind_label = function Gauge -> "gauge" | Rate -> "rate" | Wmean -> "mean"
+
+(* The value a bucket renders as: gauges and windowed means show the
+   bucket mean; rates show per-second throughput (delta sum / width). *)
+let bucket_value kind width (b : Timeline.bucket) =
+  match kind with
+  | Gauge | Wmean -> b.Timeline.mean
+  | Rate -> if b.Timeline.n = 0 then Float.nan else b.Timeline.total /. width
+
+let series_of_probe p =
+  let width = Timeline.width p.tl in
+  {
+    name = p.p_name;
+    kind = p.p_kind;
+    width;
+    points =
+      Array.map
+        (fun (b : Timeline.bucket) ->
+          (b.Timeline.t0, bucket_value p.p_kind width b))
+        (Timeline.buckets p.tl);
+  }
+
+let series t = List.rev_map series_of_probe t.probes
+
+let to_json t =
+  let series_json p =
+    let width = Timeline.width p.tl in
+    let bs = Timeline.buckets p.tl in
+    Json.Obj
+      [
+        ("kind", Json.Str (kind_label p.p_kind));
+        ("width_s", Json.Float width);
+        ( "points",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun (b : Timeline.bucket) ->
+                    Json.Obj
+                      [
+                        ("t", Json.Float b.Timeline.t0);
+                        ("n", Json.Int b.Timeline.n);
+                        ("v", Json.Float (bucket_value p.p_kind width b));
+                        ("min", Json.Float b.Timeline.min);
+                        ("max", Json.Float b.Timeline.max);
+                      ])
+                  bs)) );
+      ]
+  in
+  Json.Obj
+    [
+      ("interval_s", Json.Float t.interval);
+      ("samples", Json.Int t.n_samples);
+      ( "series",
+        Json.Obj
+          (List.rev_map (fun p -> (p.p_name, series_json p)) t.probes) );
+    ]
+
+(* Wide CSV: one aligned row per bucket (all timelines share widths by
+   construction), one column per probe whose name passes [keep]. Empty
+   buckets render as empty cells. *)
+let to_csv ?(keep = fun _ -> true) t =
+  let probes = List.rev (List.filter (fun p -> keep p.p_name) t.probes) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "t";
+  List.iter
+    (fun p ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf p.p_name)
+    probes;
+  Buffer.add_char buf '\n';
+  let rows =
+    List.fold_left (fun acc p -> max acc (Timeline.n_buckets p.tl)) 0 probes
+  in
+  let width =
+    match probes with [] -> t.interval | p :: _ -> Timeline.width p.tl
+  in
+  for i = 0 to rows - 1 do
+    Buffer.add_string buf (Printf.sprintf "%g" (float_of_int i *. width));
+    List.iter
+      (fun p ->
+        Buffer.add_char buf ',';
+        if i < Timeline.n_buckets p.tl then begin
+          let b = Timeline.bucket p.tl i in
+          let v = bucket_value p.p_kind (Timeline.width p.tl) b in
+          if not (Float.is_nan v) then
+            Buffer.add_string buf (Printf.sprintf "%g" v)
+        end)
+      probes;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Named probe registry — the flight recorder's sampling plane.
+
+    Probes (gauges, counter rates, histogram deltas) are registered once
+    at cluster construction and read together on a fixed virtual-time
+    cadence by the server's sampler daemon. Each probe records into its
+    own bounded {!Timeline}; because every probe is ticked on every
+    sample, all timelines keep identical bucket widths, so exports stay
+    aligned row-for-row however long the run gets. *)
+
+type t
+
+(** [create ?capacity ~interval ()] for probes sampled every [interval]
+    virtual seconds; each probe's timeline holds at most [capacity]
+    buckets (default 256). *)
+val create : ?capacity:int -> interval:float -> unit -> t
+
+val interval : t -> float
+
+(** Number of sampling rounds taken so far. *)
+val n_samples : t -> int
+
+(** [gauge t name f] registers an instantaneous value ([f] read at each
+    sample). Raises [Invalid_argument] on a duplicate name. *)
+val gauge : t -> string -> (unit -> float) -> unit
+
+(** [counter t name f] registers a cumulative counter; the timeline
+    stores per-window deltas and renders them as per-second rates. A
+    reading below the previous one is treated as a counter reset. *)
+val counter : t -> string -> (unit -> float) -> unit
+
+(** [histogram t name f] registers a histogram delta: [f] returns the
+    cumulative [(count, total)] pair and the timeline records the mean of
+    the observations that arrived in each window (windows with none are
+    skipped). *)
+val histogram : t -> string -> (unit -> float * float) -> unit
+
+(** [sample t ~time] reads every probe once. Called by the sampler
+    daemon; safe to call from anywhere that may read the probes. *)
+val sample : t -> time:float -> unit
+
+type kind = Gauge | Rate | Wmean
+
+(** A rendered probe: [(bucket start, value)] points where the value is a
+    bucket mean (gauges, histogram deltas) or a per-second rate
+    (counters), [nan] for empty buckets. *)
+type series = {
+  name : string;
+  kind : kind;
+  width : float;
+  points : (float * float) array;
+}
+
+(** All probes in registration order. *)
+val series : t -> series list
+
+(** The metrics-JSON [timelines] section: interval, sample count and one
+    series object per probe ({i kind}, {i width_s}, {i points} with
+    t/n/v/min/max; empty-bucket statistics serialize as [null]). *)
+val to_json : t -> Json.t
+
+(** [to_csv ?keep t] renders probes passing [keep] (default all) as a
+    wide CSV: header [t,<name>,...], one row per bucket, empty cells for
+    empty buckets. *)
+val to_csv : ?keep:(string -> bool) -> t -> string

@@ -36,3 +36,44 @@ let bucket_means t =
     (buckets t)
 
 let total t = Summary.copy t.all
+
+(* Empty windows carry [nan] in-process (bucket_means) and must land as
+   [null] in exports — the Json emitter maps non-finite floats to null,
+   which test_metrics pins down for timeline exports. *)
+let to_json t =
+  let bs = buckets t in
+  Json.Obj
+    [
+      ("window_s", Json.Float t.window);
+      ("n", Json.Int t.used);
+      ( "means",
+        Json.List
+          (Array.to_list (Array.map (fun m -> Json.Float m) (bucket_means t)))
+      );
+      ( "counts",
+        Json.List
+          (Array.to_list (Array.map (fun s -> Json.Int (Summary.count s)) bs))
+      );
+    ]
+
+let rate_of_counter ~window samples =
+  if not (window > 0.) then
+    invalid_arg "Timeseries.rate_of_counter: window must be > 0";
+  let n = Array.length samples in
+  let out = Array.make n Float.nan in
+  let prev = ref Float.nan and prev_idx = ref 0 in
+  for i = 0 to n - 1 do
+    let v = samples.(i) in
+    if not (Float.is_nan v) then begin
+      if not (Float.is_nan !prev) then begin
+        let d = v -. !prev in
+        let span = float_of_int (i - !prev_idx) *. window in
+        (* A reading below its predecessor is a counter reset: the delta
+           since the reset is all we can attribute to the gap. *)
+        out.(i) <- (if d >= 0. then d else v) /. span
+      end;
+      prev := v;
+      prev_idx := i
+    end
+  done;
+  out

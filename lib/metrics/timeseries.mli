@@ -24,3 +24,18 @@ val n_buckets : t -> int
 
 (** [total t] is a summary over all observations. *)
 val total : t -> Summary.t
+
+(** [to_json t] renders the series as an object with {i window_s},
+    {i n}, per-window {i means} and {i counts}. Empty windows are [nan]
+    in {!bucket_means} and serialize as [null] (the {!Json} emitter maps
+    non-finite floats to null). *)
+val to_json : t -> Json.t
+
+(** [rate_of_counter ~window samples] converts per-window {e cumulative}
+    counter readings (e.g. [bucket_means] over a series fed one counter
+    reading per window, [nan] for windows with no reading) into
+    per-second rates: each defined reading yields the delta from the
+    previous defined reading divided by the elapsed windows. The first
+    defined reading and every empty window map to [nan]; a reading below
+    its predecessor is treated as a counter reset. *)
+val rate_of_counter : window:float -> float array -> float array

@@ -181,7 +181,31 @@ let add_event buf first ev =
       end;
       Buffer.add_char buf '}')
 
-let to_chrome_json t =
+(* Telemetry timelines ride along as Perfetto counter tracks (ph "C"),
+   one per (pid, name): the flight recorder's sampled signals land on the
+   same timeline view as the request spans. Empty buckets (nan) are
+   skipped — a counter track just holds its last value across gaps. *)
+let add_counter buf first (pid, cname, points) =
+  Array.iter
+    (fun (time, v) ->
+      if Float.is_finite v then begin
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        Buffer.add_string buf "{\"cat\":\"telemetry\",\"ph\":\"C\",\"name\":";
+        Json.escape_into buf cname;
+        Buffer.add_string buf ",\"pid\":";
+        Buffer.add_string buf (string_of_int pid);
+        Buffer.add_string buf ",\"tid\":";
+        Buffer.add_string buf (string_of_int pid);
+        Buffer.add_string buf ",\"ts\":";
+        ts_us buf time;
+        Buffer.add_string buf ",\"args\":{\"value\":";
+        Buffer.add_string buf (Json.to_string (Json.Float v));
+        Buffer.add_string buf "}}"
+      end)
+    points
+
+let to_chrome_json ?(counters = []) t =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   let first = ref true in
@@ -200,6 +224,7 @@ let to_chrome_json t =
       Json.escape_into buf name;
       Buffer.add_string buf "}}")
     tracks;
+  List.iter (add_counter buf first) counters;
   List.iter (add_event buf first) (List.rev t.events);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

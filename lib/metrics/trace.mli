@@ -98,8 +98,16 @@ val instants : t -> (int * string) list
     tree root) — duration events would require strict per-thread nesting,
     which concurrent request threads violate. Instants become ph ["i"],
     and track names process-name metadata. Timestamps are microseconds of
-    virtual time. *)
-val to_chrome_json : t -> string
+    virtual time.
+
+    [counters], when given, are telemetry timelines rendered as Perfetto
+    counter tracks (ph ["C"]) — [(track, name, points)] with points as
+    [(time, value)]; non-finite values (empty buckets) are skipped. This
+    puts the flight recorder's sampled signals on the same timeline view
+    as the spans. Omitting it leaves the export byte-identical to the
+    span-only form. *)
+val to_chrome_json :
+  ?counters:(int * string * (float * float) array) list -> t -> string
 
 type phase = {
   phase : string;  (** span name *)

@@ -86,6 +86,14 @@ let pending t = Pqueue.Timed.length t.queue - !(t.cancels)
 let suspended t = t.n_suspended
 let events_processed t = t.n_events
 
+(* Flight-recorder inspection: raw heap occupancy (live + cancelled) and
+   the lazy-cancellation census, separately — [pending] nets them out,
+   but telemetry wants to watch the garbage fraction that drives
+   compaction. Both are O(1) reads. *)
+let heap_depth t = Pqueue.Timed.length t.queue
+let heap_capacity t = Pqueue.Timed.capacity t.queue
+let cancelled_events t = !(t.cancels)
+
 (* ------------------------------------------------------------------ *)
 (* Current engine
 

@@ -72,6 +72,16 @@ val suspended : t -> int
     Cancelled events are skipped, not executed, so they never count. *)
 val events_processed : t -> int
 
+(** {1 Flight-recorder inspection}
+
+    O(1) reads for the telemetry sampler: raw heap occupancy (live plus
+    cancelled — {!pending} nets the census out), the backing-array size,
+    and the lazy-cancellation census whose growth drives compaction. *)
+
+val heap_depth : t -> int
+val heap_capacity : t -> int
+val cancelled_events : t -> int
+
 (** {1 Process-side operations} *)
 
 (** [now ()] is the current simulated time. *)

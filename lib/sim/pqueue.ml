@@ -135,6 +135,7 @@ module Timed = struct
 
   let length t = t.size
   let is_empty t = t.size = 0
+  let capacity t = Array.length t.times
 
   let grow t =
     let cap = Array.length t.times in

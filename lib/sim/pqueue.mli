@@ -58,6 +58,9 @@ module Timed : sig
   val length : 'a t -> int
   val is_empty : 'a t -> bool
 
+  (** [capacity h] is the backing-array size (leak tests, telemetry). *)
+  val capacity : 'a t -> int
+
   (** [push h ~time ~seq x] inserts [x] keyed by [(time, seq)].
       Sequence numbers must be unique for deterministic pop order. *)
   val push : 'a t -> time:float -> seq:int -> 'a -> unit
